@@ -1,0 +1,76 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper table — these quantify the implementation decisions:
+component pruning, component merging, log-space responsibilities, and
+per-layer vs. global GMs for deep models.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import DeepRunConfig, format_table
+from repro.experiments.ablations import (
+    responsibility_stability_comparison,
+    run_layer_sharing_ablation,
+    run_merge_ablation,
+    run_pruning_ablation,
+)
+
+
+def test_ablation_pruning_and_merging(benchmark, report):
+    def run():
+        rng = np.random.default_rng(0)
+        return run_pruning_ablation(rng), run_merge_ablation(
+            np.random.default_rng(1)
+        )
+
+    counts, merge = run_once(benchmark, run)
+    rows = [[k, v] for k, v in counts.items()]
+    rows += [[k, f"K={v[0]}, min rel precision gap={v[1]:.4f}"]
+             for k, v in merge.items()]
+    report("=== Ablation: component pruning & merging ===\n"
+           + format_table(["Variant", "Outcome"], rows))
+    assert counts["paper (prune+merge)"] <= 2
+    assert counts["ablated (neither)"] == 4
+
+
+def test_ablation_logspace_responsibilities(benchmark, report):
+    comparison = run_once(benchmark, responsibility_stability_comparison)
+    report(
+        "=== Ablation: log-space vs naive responsibilities ===\n"
+        + format_table(
+            ["Implementation", "fraction of broken rows"],
+            [["naive direct formula", f"{comparison['naive_bad_rows']:.3f}"],
+             ["log-sum-exp (ours)", f"{comparison['logspace_bad_rows']:.3f}"]],
+        )
+    )
+    assert comparison["logspace_bad_rows"] == 0.0
+    assert comparison["naive_bad_rows"] > 0.0
+
+
+def test_ablation_per_layer_vs_global_gm(benchmark, report):
+    config = DeepRunConfig(
+        model="alex", image_size=16, n_train=300, n_test=500, noise=1.0,
+        epochs=15, width_scale=0.5,
+    )
+    outcome = run_once(benchmark, lambda: run_layer_sharing_ablation(config))
+    lam_rows = [
+        [name, np.round(lam, 2).tolist()]
+        for name, lam in sorted(outcome.per_layer_lambdas.items())
+    ]
+    report(
+        "=== Ablation: per-layer vs global GM (Alex) ===\n"
+        + format_table(
+            ["Variant", "test accuracy"],
+            [["per-layer GMs (paper)", f"{outcome.per_layer_accuracy:.3f}"],
+             ["single global GM", f"{outcome.global_accuracy:.3f}"]],
+        )
+        + "\nper-layer lambdas:\n"
+        + format_table(["Layer", "lambda"], lam_rows)
+        + f"\nglobal lambda: {np.round(outcome.global_lambda, 2).tolist()}"
+    )
+    # The paper's per-layer design must be at least competitive.
+    assert outcome.per_layer_accuracy >= outcome.global_accuracy - 0.05
+    # Per-layer mixtures genuinely differ across layers.
+    lams = [np.sort(l)[-1] for l in outcome.per_layer_lambdas.values()]
+    assert max(lams) / max(min(lams), 1e-9) > 1.05

@@ -1,0 +1,34 @@
+"""Figure 6: convergence time for combinations of Ig and Im.
+
+Fixes Im = 50 and raises the GM-parameter update interval Ig through
+{50, 100, 200, 500}, reproducing the paper's observation that the
+M-step is itself costly enough that increasing Ig keeps shaving time
+(Section V-F2).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    format_timing_curves,
+    run_ig_sweep,
+    timing_bench_config,
+)
+
+IG_VALUES = (50, 100, 200, 500)
+
+
+def run_experiment():
+    return run_ig_sweep(timing_bench_config(), im=50, ig_values=IG_VALUES,
+                        eager_epochs=2)
+
+
+def test_fig6_ig_sweep(benchmark, report):
+    curves = run_once(benchmark, run_experiment)
+    report("=== Figure 6: convergence time per (Ig, Im) ===\n"
+           + format_timing_curves(curves))
+    times = {c.label: c.total_seconds for c in curves}
+    # The largest Ig must not be slower than the smallest (within 15%
+    # measurement noise on second-scale runs); the broad trend is down.
+    assert times["Ig=500&Im=50"] <= times["Ig=50&Im=50"] * 1.15
+    for curve in curves:
+        assert curve.test_accuracy > 0.2  # well above 10-class chance

@@ -1,0 +1,52 @@
+"""Figure 7: wall-clock time per warm-up length E.
+
+Sweeps the number of eager epochs E in {1, 2, 5, 10} (at Im = Ig = 50)
+plus the L2 baseline.  Reproduction targets (Section V-F3):
+
+- larger E costs more total time (eager epochs pay full EM cost);
+- small E (E=1) reaches a comparable accuracy at a fraction of the
+  E=max cost — the paper reports ~70% of the E=50 time; with our
+  12-epoch budget the sweep tops out at E=10 and the same monotone
+  shape must hold.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import (
+    format_series,
+    format_timing_curves,
+    run_warmup_sweep,
+    timing_bench_config,
+)
+
+E_VALUES = (1, 2, 5, 10)
+
+
+def run_experiment():
+    return run_warmup_sweep(timing_bench_config(), e_values=E_VALUES, im=50)
+
+
+def test_fig7_warmup_sweep(benchmark, report):
+    curves = run_once(benchmark, run_experiment)
+    lines = ["=== Figure 7: time vs epoch per warm-up length E ==="]
+    for curve in curves:
+        lines.append(format_series(
+            f"{curve.label:9s}", curve.epochs.tolist(),
+            curve.cumulative_seconds, fmt=".2f",
+        ))
+    lines.append("")
+    lines.append(format_timing_curves(curves))
+    report("\n".join(lines))
+
+    times = {c.label: c.total_seconds for c in curves}
+    accs = {c.label: c.test_accuracy for c in curves}
+    # Monotone: more eager epochs, more time (allowing 10% timing noise).
+    assert times["E=1"] <= times["E=10"] * 1.1
+    assert times["E=1"] < times["E=10"]
+    # E=1 reaches a clearly sub-1 fraction of the E=10 cost.
+    assert times["E=1"] / times["E=10"] < 0.9
+    # ... with no accuracy drop.
+    assert accs["E=1"] >= accs["E=10"] - 0.06
+    for curve in curves:
+        assert np.all(np.diff(curve.cumulative_seconds) > 0.0)

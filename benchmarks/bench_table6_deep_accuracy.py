@@ -1,0 +1,40 @@
+"""Table VI: accuracy of the deep models under each regularization mode.
+
+Trains Alex-CIFAR-10 and the ResNet under no regularization, expert-
+tuned L2 and adaptive GM, and prints the accuracy column against the
+paper's Table VI.  Reproduction targets:
+
+- Alex-CIFAR-10: the full ordering none < L2 < GM (the paper's primary
+  case study);
+- ResNet: regularization effects are small (BN is itself a regularizer,
+  as the paper notes) — GM must at least beat no regularization *or*
+  match L2 within noise; the honest comparison is in EXPERIMENTS.md.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    alex_bench_config,
+    format_table6,
+    resnet_bench_config,
+    run_table6,
+)
+
+
+def test_table6_alexnet(benchmark, report):
+    results = run_once(benchmark, lambda: run_table6(alex_bench_config()))
+    report("=== Table VI (Alex-CIFAR-10) ===\n" + format_table6(results, "alex"))
+    accs = {m: r.test_accuracy for m, r in results.items()}
+    # The paper's ordering on its primary case study.
+    assert accs["none"] < accs["gm"]
+    assert accs["l2"] < accs["gm"]
+
+
+def test_table6_resnet(benchmark, report):
+    results = run_once(benchmark, lambda: run_table6(resnet_bench_config()))
+    report("=== Table VI (ResNet) ===\n" + format_table6(results, "resnet"))
+    accs = {m: r.test_accuracy for m, r in results.items()}
+    # At bench scale the BN-heavy ResNet shows small regularization
+    # effects; require GM to be competitive with the better of the
+    # other two modes rather than strictly dominant.
+    assert accs["gm"] >= max(accs["none"], accs["l2"]) - 0.08

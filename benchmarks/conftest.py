@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs its experiment exactly once under pytest-benchmark's
+pedantic mode (these are minutes-long experiments, not microbenchmarks)
+and prints the reproduced table/figure rows next to the paper's numbers
+through the ``report`` fixture, which bypasses pytest's output capture
+so the comparison lands in the terminal / bench_output.txt.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print ``text`` directly to the real terminal."""
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+    return _print
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` a single time under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,75 @@
+"""End-to-end healthcare analytics: the GEMINI pipeline with GM reg.
+
+Reproduces the paper's Figure 1 story on the synthetic Hosp-FA data:
+
+1. dirty inpatient records are committed to the immutable store
+   (Forkbase stage);
+2. the cleaning rules remove duplicate admissions and impossible lab
+   values (DICE stage);
+3. the data is profiled and cohort readmission rates are compared
+   across age bands (epiC + CohAna stages);
+4. a logistic readmission model is trained with the adaptive GM
+   regularization tool plugged into the training loop.
+
+Run with:  python examples/healthcare_readmission.py
+"""
+
+import numpy as np
+
+from repro.core import GMRegularizer, make_recommended_regularizer, recommend
+from repro.datasets import HOSP_FA_SAMPLES, make_raw_hospital_table
+from repro.pipeline import (
+    AnalyticsStack,
+    DataCleaner,
+    DeduplicateRows,
+    RangeRule,
+    build_cohorts,
+    compare_outcome,
+    render_cohorts,
+)
+
+
+def main() -> None:
+    raw, labels = make_raw_hospital_table(seed=0)
+    print(f"raw table: {raw.n_rows} rows x {raw.n_columns} columns "
+          f"(labels for {labels.size} unique admissions)\n")
+
+    continuous_columns = [c.name for c in raw.columns() if c.is_continuous]
+    cleaner = DataCleaner([
+        DeduplicateRows(key="patient_id"),
+        RangeRule(continuous_columns, low=-50.0, high=50.0),
+    ])
+    # The paper's "guidance on setting the hyper-parameters": derive the
+    # GM settings from the data shape instead of hand-tuning them.
+    n_train = int(round(0.8 * HOSP_FA_SAMPLES))
+    print(recommend(375, n_train).rationale, "\n")
+    stack = AnalyticsStack(
+        cleaner,
+        regularizer_factory=lambda m: make_recommended_regularizer(m, n_train),
+        lr=0.5,
+        epochs=120,
+    )
+    result = stack.run(raw, labels, seed=0, drop_columns=["patient_id"])
+
+    print(result.cleaning_report.summary())
+    print(f"\nimmutable store commits: "
+          f"{ {k: v[:10] for k, v in result.commits.items()} }")
+    print(f"\nreadmission model test accuracy: {result.test_accuracy:.3f}")
+
+    # Cohort analysis: readmission rate per age band (CohAna stage).
+    clean_prefix = raw.head(labels.size)
+    cohorts = build_cohorts(clean_prefix, "age_band")
+    print()
+    print(render_cohorts(compare_outcome(cohorts, labels),
+                         title="30-day readmission rate by age band"))
+
+    # The regularizer's learned mixture, for interpretability.
+    regularizer = result.model.regularizer
+    if isinstance(regularizer, GMRegularizer):
+        print(f"\nlearned GM over model weights: "
+              f"pi={np.round(regularizer.pi, 3)} "
+              f"lambda={np.round(regularizer.lam, 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: adaptive GM regularization on logistic regression.
+
+Builds a synthetic binary classification task with the structure the
+paper targets — a few predictive features, many noisy ones — and trains
+logistic regression under no regularization, tuned L2, and the adaptive
+GM regularizer.  Prints the accuracy of each and the Gaussian Mixture
+the GM tool learned.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import GMRegularizer, L2Regularizer
+from repro.datasets import TabularSchema, generate_dataset
+from repro.datasets.preprocessing import TabularEncoder
+from repro.linear import LogisticRegression, accuracy
+from repro.optim import Trainer
+
+
+def main() -> None:
+    # A dataset with 8 predictive continuous features out of 80.
+    schema = TabularSchema(
+        n_continuous=80, predictive_fraction=0.1, class_separation=3.0,
+        flip_rate=0.02, noise_std=0.1,
+    )
+    rng = np.random.default_rng(7)
+    table, labels, _true_weights = generate_dataset(schema, 600, rng)
+    encoder = TabularEncoder()
+    x = encoder.fit_transform(table)
+    train, test = np.arange(0, 480), np.arange(480, 600)
+
+    print(f"dataset: {x.shape[0]} samples x {x.shape[1]} features\n")
+    for name, regularizer in [
+        ("no regularization", None),
+        ("L2 (strength 10)", L2Regularizer(10.0)),
+        ("adaptive GM", GMRegularizer(n_dimensions=x.shape[1])),
+    ]:
+        model = LogisticRegression(
+            x.shape[1], regularizer=regularizer, rng=np.random.default_rng(0)
+        )
+        trainer = Trainer(model, lr=0.5, batch_size=32)
+        trainer.fit(x[train], labels[train], epochs=120,
+                    rng=np.random.default_rng(1))
+        acc = accuracy(labels[test], model.predict(x[test]))
+        print(f"{name:20s} test accuracy = {acc:.3f}")
+        if isinstance(regularizer, GMRegularizer):
+            mixture = regularizer.mixture
+            print(
+                f"\nlearned GM: pi={np.round(mixture.pi, 3)}, "
+                f"lambda={np.round(mixture.lam, 3)} "
+                f"({mixture.effective_components()} effective components)"
+            )
+            print(
+                "  -> the high-precision component regularizes the noisy "
+                "features strongly;\n     the low-precision one leaves the "
+                "predictive features almost free."
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Compare all five regularizers on UCI-style datasets (Table VII demo).
+
+Runs the paper's Table VII protocol — stratified subsamples, per-method
+cross-validated hyper-parameters, mean +- stderr accuracy — on two of
+the UCI stand-ins, with reduced grids so it finishes in about a minute.
+The full-protocol run lives in benchmarks/bench_table7_small_datasets.py.
+
+Run with:  python examples/uci_comparison.py
+"""
+
+from repro.experiments import (
+    SmallRunConfig,
+    format_table7,
+    load_small_dataset,
+    run_dataset_comparison,
+)
+
+
+def main() -> None:
+    config = SmallRunConfig(n_subsamples=3, compact_grids=True, epochs=100)
+    comparisons = []
+    for name in ("horse-colic", "conn-sonar"):
+        dataset = load_small_dataset(name)
+        print(f"running {name} ({dataset.n_samples} samples, "
+              f"{dataset.encoded_dim()} encoded features)...")
+        comparisons.append(run_dataset_comparison(dataset, config))
+    print()
+    print(format_table7(comparisons))
+    for comp in comparisons:
+        print(f"\nbest method on {comp.dataset}: {comp.best_method()}")
+
+
+if __name__ == "__main__":
+    main()

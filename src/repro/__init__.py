@@ -1,0 +1,59 @@
+"""repro — reproduction of "Adaptive Lightweight Regularization Tool for
+Complex Analytics" (Luo et al., ICDE 2018).
+
+The package is organized as the paper's system is:
+
+``repro.core``
+    The adaptive Gaussian-Mixture regularization tool (the contribution)
+    plus the fixed-form baselines (L1, L2, Elastic-net, Huber).
+``repro.optim``
+    SGD with momentum and the trainers implementing the interleaved
+    SGD+EM loops of Algorithms 1 and 2.
+``repro.nn``
+    A from-scratch layer-based deep-learning framework (the Apache SINGA
+    substitute): conv/pool/LRN/BN/dense layers, backprop, the
+    Alex-CIFAR-10 and ResNet-20 architectures of Table III.
+``repro.linear``
+    Logistic regression, metrics and model selection used for the
+    small-dataset study (Table VII).
+``repro.datasets``
+    Seeded synthetic stand-ins for CIFAR-10, the 11 UCI datasets and the
+    Hosp-FA hospital dataset, plus preprocessing.
+``repro.pipeline``
+    A lightweight GEMINI-style analytics stack (cleaning, aggregation,
+    cohorts, immutable storage) the tool plugs into.
+``repro.experiments``
+    Configs, runners and table formatting for every table and figure in
+    the paper's evaluation section.
+"""
+
+from . import core
+from .core import (
+    ElasticNetRegularizer,
+    GaussianMixture,
+    GMHyperParams,
+    GMRegularizer,
+    HuberRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    LazyUpdateSchedule,
+    NoRegularizer,
+    Regularizer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "GaussianMixture",
+    "GMRegularizer",
+    "GMHyperParams",
+    "LazyUpdateSchedule",
+    "Regularizer",
+    "NoRegularizer",
+    "L1Regularizer",
+    "L2Regularizer",
+    "ElasticNetRegularizer",
+    "HuberRegularizer",
+    "__version__",
+]

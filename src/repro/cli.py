@@ -1,0 +1,200 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Exposes every reproduced table and figure as a subcommand so results
+can be regenerated without pytest:
+
+    python -m repro table2
+    python -m repro table7 --datasets horse-colic conn-sonar
+    python -m repro fig5 --epochs 8
+    python -m repro all --fast
+
+``--fast`` shrinks every experiment to roughly example scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .datasets import UCI_SPECS, make_uci_dataset, uci_dataset_names
+from .experiments import (
+    PAPER_FIG3_MIXTURES,
+    PAPER_TABLE4_ALEX,
+    PAPER_TABLE5_RESNET,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    SmallRunConfig,
+    alex_bench_config,
+    average_by_init,
+    fit_gm_mixture_for_dataset,
+    format_mixture_rows,
+    format_series,
+    format_table,
+    format_table6,
+    format_table7,
+    format_timing_curves,
+    layer_mixture_table,
+    resnet_bench_config,
+    run_ig_sweep,
+    run_im_sweep,
+    run_init_alpha_sweep,
+    run_table6,
+    run_table7,
+    run_warmup_sweep,
+    timing_bench_config,
+    train_deep,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_table2(_args) -> None:
+    rows = []
+    for name in uci_dataset_names():
+        dataset = make_uci_dataset(name, seed=0)
+        rows.append([name, dataset.n_samples, dataset.encoded_dim(),
+                     dataset.feature_type])
+    print(format_table(["Dataset", "# Samples", "# Features", "Type"], rows))
+
+
+def _cmd_table4(args) -> None:
+    config = alex_bench_config(epochs=8 if args.fast else 25)
+    result = train_deep(config, method="gm")
+    print(format_mixture_rows(layer_mixture_table(result), PAPER_TABLE4_ALEX))
+    print(f"test accuracy: {result.test_accuracy:.3f}")
+
+
+def _cmd_table5(args) -> None:
+    config = resnet_bench_config(epochs=10 if args.fast else 40)
+    result = train_deep(config, method="gm")
+    print(format_mixture_rows(layer_mixture_table(result), PAPER_TABLE5_RESNET))
+    print(f"test accuracy: {result.test_accuracy:.3f}")
+
+
+def _cmd_table6(args) -> None:
+    for model, config in (
+        ("alex", alex_bench_config(epochs=10 if args.fast else 25)),
+        ("resnet", resnet_bench_config(epochs=15 if args.fast else 40)),
+    ):
+        print(f"--- {model} ---")
+        print(format_table6(run_table6(config), model))
+
+
+def _cmd_table7(args) -> None:
+    datasets = args.datasets or list(PAPER_TABLE7.keys())
+    if args.fast:
+        config = SmallRunConfig(n_subsamples=2, cv_folds=2,
+                                compact_grids=True, epochs=80)
+    else:
+        config = SmallRunConfig(n_subsamples=3, cv_folds=2,
+                                compact_grids=True)
+    print(format_table7(run_table7(datasets, config)))
+
+
+def _cmd_table8(args) -> None:
+    config = alex_bench_config(epochs=6 if args.fast else 10)
+    table8 = average_by_init(run_init_alpha_sweep(config))
+    rows = [[m, f"{a:.3f}", f"{PAPER_TABLE8['alex'].get(m, float('nan')):.3f}"]
+            for m, a in table8.items()]
+    print(format_table(["Init method", "avg accuracy", "paper"], rows))
+
+
+def _cmd_fig3(_args) -> None:
+    for name in ("horse-colic", "conn-sonar"):
+        mixture = fit_gm_mixture_for_dataset(name)
+        paper_pi, paper_lam = PAPER_FIG3_MIXTURES[name]
+        print(f"{name}: pi={np.round(mixture.pi, 3).tolist()} "
+              f"lambda={np.round(mixture.lam, 3).tolist()} "
+              f"A/B={np.round(mixture.crossovers, 3).tolist()} "
+              f"[paper pi={paper_pi} lambda={paper_lam}]")
+
+
+def _cmd_fig4(args) -> None:
+    config = alex_bench_config(epochs=6 if args.fast else 10)
+    sweep = run_init_alpha_sweep(config)
+    alphas = sorted({a for _i, a in sweep})
+    for init in ("linear", "identical", "proportional"):
+        series = [sweep[(init, a)].test_accuracy for a in alphas]
+        print(format_series(f"{init:12s}", alphas, series))
+
+
+def _cmd_fig5(args) -> None:
+    config = timing_bench_config(epochs=args.epochs or (6 if args.fast else 12))
+    curves = run_im_sweep(config, im_values=(1, 2, 5, 10, 20, 50),
+                          eager_epochs=2)
+    print(format_timing_curves(curves))
+
+
+def _cmd_fig6(args) -> None:
+    config = timing_bench_config(epochs=args.epochs or (6 if args.fast else 12))
+    curves = run_ig_sweep(config, im=50, ig_values=(50, 100, 200, 500),
+                          eager_epochs=2)
+    print(format_timing_curves(curves))
+
+
+def _cmd_fig7(args) -> None:
+    config = timing_bench_config(epochs=args.epochs or (6 if args.fast else 12))
+    curves = run_warmup_sweep(config, e_values=(1, 2, 5, 10), im=50)
+    print(format_timing_curves(curves))
+
+
+_COMMANDS = {
+    "table2": _cmd_table2,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "table6": _cmd_table6,
+    "table7": _cmd_table7,
+    "table8": _cmd_table8,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to reproduce ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="shrink every experiment to roughly example scale",
+    )
+    parser.add_argument(
+        "--datasets", nargs="*", default=None,
+        help="table7 only: subset of dataset names",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None,
+        help="fig5/6/7 only: override the epoch budget",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.datasets:
+        unknown = [d for d in args.datasets
+                   if d not in UCI_SPECS and d != "Hosp-FA"]
+        if unknown:
+            print(f"unknown datasets: {unknown}", file=sys.stderr)
+            return 2
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n===== {name} =====")
+        _COMMANDS[name](args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

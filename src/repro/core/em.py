@@ -1,0 +1,213 @@
+"""Lightweight EM updates for the GM parameters (Equations (13) and (17)).
+
+Given responsibilities ``r_k(w_m)`` computed in the E-step (Equation (9)),
+the M-step has closed-form minimizers of the loss ``G`` with respect to
+the mixture parameters:
+
+Precisions (Equation (13)), smoothed by the Gamma(a, b) prior::
+
+    lambda_k = (2(a - 1) + sum_m r_k(w_m)) / (2b + sum_m r_k(w_m) w_m^2)
+
+Mixing coefficients (Equation (17)), smoothed by the Dirichlet(alpha)
+prior via a Lagrange multiplier enforcing the simplex constraint::
+
+    pi_k = (sum_m r_k(w_m) + (alpha_k - 1)) / (M + sum_j (alpha_j - 1))
+
+When ``alpha_k < 1`` the numerator can go negative for components with
+tiny responsibility mass; the paper relies on this to *prune* components
+(K=4 collapsing to the 1-2 components reported in Tables IV/V).  We
+implement pruning by clamping negative coefficients to zero and
+renormalizing, and expose a switch so the behaviour can be ablated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gaussian_mixture import GaussianMixture
+
+__all__ = [
+    "update_precisions",
+    "update_mixing_coefficients",
+    "merge_similar_components",
+    "em_step",
+    "gm_loss_terms",
+]
+
+# Precisions are clipped to this range after each M-step.  The lower bound
+# keeps the Gaussians proper; the upper bound prevents a pruned-in-all-but-
+# name component from driving the density evaluation into overflow.
+_LAMBDA_MIN = 1e-8
+_LAMBDA_MAX = 1e12
+
+# Components whose updated mixing coefficient falls below this threshold
+# are pruned (coefficient set to 0) when pruning is enabled.
+_PI_PRUNE_THRESHOLD = 1e-10
+
+
+def update_precisions(
+    responsibilities: np.ndarray,
+    w: np.ndarray,
+    a: float,
+    b: float,
+) -> np.ndarray:
+    """M-step for the component precisions (Equation (13)).
+
+    Parameters
+    ----------
+    responsibilities:
+        Matrix ``(M, K)`` from :meth:`GaussianMixture.responsibilities`.
+    w:
+        Flattened model parameter vector, shape ``(M,)``.
+    a, b:
+        Gamma-prior shape and rate; ``2(a-1)`` and ``2b`` act as pseudo
+        counts and pseudo sums of squares.
+
+    Returns
+    -------
+    numpy.ndarray
+        Updated precisions, shape ``(K,)``, clipped to a safe range.
+    """
+    w = np.asarray(w, dtype=np.float64).reshape(-1)
+    resp_sum = responsibilities.sum(axis=0)
+    weighted_sq = responsibilities.T @ (w * w)
+    numerator = 2.0 * (a - 1.0) + resp_sum
+    denominator = 2.0 * b + weighted_sq
+    lam = numerator / np.maximum(denominator, 1e-300)
+    return np.clip(lam, _LAMBDA_MIN, _LAMBDA_MAX)
+
+
+def update_mixing_coefficients(
+    responsibilities: np.ndarray,
+    alpha: np.ndarray,
+    prune: bool = True,
+) -> np.ndarray:
+    """M-step for the mixing coefficients (Equation (17)).
+
+    Parameters
+    ----------
+    responsibilities:
+        Matrix ``(M, K)``.
+    alpha:
+        Dirichlet concentration parameters, shape ``(K,)``.
+    prune:
+        When True (paper behaviour), coefficients driven negative by the
+        ``alpha_k - 1`` term are set to zero — the component is pruned —
+        and the rest renormalized.  When False the coefficients are
+        floored at a small epsilon instead (ablation mode).
+
+    Returns
+    -------
+    numpy.ndarray
+        Updated mixing coefficients on the simplex, shape ``(K,)``.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64).reshape(-1)
+    n_dims = responsibilities.shape[0]
+    resp_sum = responsibilities.sum(axis=0)
+    numerator = resp_sum + (alpha - 1.0)
+    if prune:
+        numerator = np.where(numerator < _PI_PRUNE_THRESHOLD, 0.0, numerator)
+    else:
+        numerator = np.maximum(numerator, _PI_PRUNE_THRESHOLD)
+    total = numerator.sum()
+    if total <= 0.0:
+        # Degenerate case: every component pruned.  Fall back to the raw
+        # responsibility masses, which always form a valid distribution.
+        numerator = np.maximum(resp_sum, _PI_PRUNE_THRESHOLD)
+        total = numerator.sum()
+    del n_dims  # denominator M + sum(alpha - 1) equals `total` after clamping
+    return numerator / total
+
+
+def merge_similar_components(
+    pi: np.ndarray,
+    lam: np.ndarray,
+    rel_tol: float = 0.02,
+) -> tuple:
+    """Merge components whose precisions have converged to the same value.
+
+    EM started from distinct precisions frequently drives several
+    components onto the *same* fixed point; the paper describes these as
+    "gradually merged to one" (Section V-B1), which is how K=4 collapses
+    to the 1-2 components of Tables IV/V.  Two components are merged when
+    their precisions agree within ``rel_tol`` relative tolerance; merged
+    mixing coefficients are summed and the precision is their
+    pi-weighted mean.
+
+    Returns the (possibly shorter) ``(pi, lam)`` pair, sorted by
+    ascending precision.
+    """
+    order = np.argsort(lam)
+    pi, lam = np.asarray(pi)[order], np.asarray(lam)[order]
+    merged_pi = [pi[0]]
+    merged_lam = [lam[0]]
+    for p, l in zip(pi[1:], lam[1:]):
+        last = merged_lam[-1]
+        if abs(l - last) <= rel_tol * max(abs(l), abs(last)):
+            total = merged_pi[-1] + p
+            merged_lam[-1] = (merged_pi[-1] * last + p * l) / max(total, 1e-300)
+            merged_pi[-1] = total
+        else:
+            merged_pi.append(p)
+            merged_lam.append(l)
+    return np.asarray(merged_pi), np.asarray(merged_lam)
+
+
+def em_step(
+    mixture: GaussianMixture,
+    w: np.ndarray,
+    alpha: np.ndarray,
+    a: float,
+    b: float,
+    prune: bool = True,
+    merge: bool = True,
+    merge_rel_tol: float = 0.02,
+) -> GaussianMixture:
+    """One full E+M step on the GM parameters for fixed ``w``.
+
+    Components pruned to zero mixing coefficient are removed from the
+    returned mixture, and components whose precisions have converged to
+    the same value are merged (matching the paper's observation that K=4
+    collapses to 1-2 effective components).
+    """
+    w = np.asarray(w, dtype=np.float64).reshape(-1)
+    resp = mixture.responsibilities(w)
+    lam = update_precisions(resp, w, a=a, b=b)
+    pi = update_mixing_coefficients(resp, alpha=alpha, prune=prune)
+    keep = pi > 0.0
+    if not np.all(keep) and keep.sum() >= 1:
+        pi = pi[keep] / pi[keep].sum()
+        lam = lam[keep]
+    if merge and pi.size > 1:
+        pi, lam = merge_similar_components(pi, lam, rel_tol=merge_rel_tol)
+    return GaussianMixture(pi=pi, lam=lam)
+
+
+def gm_loss_terms(
+    mixture: GaussianMixture,
+    w: np.ndarray,
+    alpha: np.ndarray,
+    a: float,
+    b: float,
+) -> float:
+    """Negative log of the joint prior (the regularization part of Eq. (8)).
+
+    Returns ``-log p(w, pi, lambda | alpha, a, b)`` up to additive
+    constants that do not depend on ``(w, pi, lambda)``.  Useful for
+    monitoring EM progress and in tests asserting that the M-step does
+    not increase the objective.
+    """
+    w = np.asarray(w, dtype=np.float64).reshape(-1)
+    alpha = np.asarray(alpha, dtype=np.float64).reshape(-1)
+    if alpha.size != mixture.n_components:
+        # Components may have been pruned since the hyper-parameters were
+        # laid out; the Dirichlet concentration is shared, so truncate.
+        alpha = alpha[: mixture.n_components]
+    log_lik = float(mixture.log_pdf(w).sum())
+    with np.errstate(divide="ignore"):
+        log_pi = np.log(np.maximum(mixture.pi, 1e-300))
+    log_dirichlet = float(((alpha - 1.0) * log_pi).sum())
+    log_gamma_prior = float(
+        ((a - 1.0) * np.log(mixture.lam) - b * mixture.lam).sum()
+    )
+    return -(log_lik + log_dirichlet + log_gamma_prior)

@@ -1,0 +1,93 @@
+"""Hyper-parameter policy for the GM regularizer (paper Section V-B1).
+
+The paper emphasizes that the tool is "easy-to-use" because the GM
+hyper-parameters follow a simple rule driven only by ``M``, the number of
+model-parameter dimensions being regularized:
+
+- ``K`` (initial component count) is fixed to 4; EM prunes it to 1-2.
+- ``b = gamma * M`` with ``gamma`` drawn from a small published grid.
+- ``a = 1 + a_scale * b`` with ``a_scale`` either 1e-2 or 1e-1 (the paper
+  notes ``a`` is "not a significant parameter").
+- ``alpha_k = M ** alpha_exponent`` shared across components; the
+  exponent is the x-axis of Figure 4 with best value 0.5.
+
+:class:`GMHyperParams` freezes one concrete setting; :func:`gamma_grid`
+exposes the search grid used for cross-validation in Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GMHyperParams", "gamma_grid", "DEFAULT_GAMMA_GRID"]
+
+# Parameter grid for gamma from Section V-B1 of the paper.
+DEFAULT_GAMMA_GRID = (0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05)
+
+
+def gamma_grid() -> tuple:
+    """The paper's search grid for the Gamma-prior rate coefficient."""
+    return DEFAULT_GAMMA_GRID
+
+
+@dataclass(frozen=True)
+class GMHyperParams:
+    """One concrete GM hyper-parameter setting.
+
+    Attributes
+    ----------
+    n_components:
+        Initial number of Gaussian components ``K`` (paper default 4).
+    gamma:
+        Coefficient of ``M`` in the Gamma rate ``b = gamma * M``.
+    a_scale:
+        Coefficient in ``a = 1 + a_scale * b`` (paper: 1e-2 or 1e-1).
+    alpha_exponent:
+        Dirichlet parameters are ``alpha_k = M ** alpha_exponent`` (paper
+        default 0.5; Figure 4 sweeps {0.3, 0.5, 0.7, 0.9}).
+    """
+
+    n_components: int = 4
+    gamma: float = 0.005
+    a_scale: float = 0.01
+    alpha_exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {self.n_components}")
+        if self.gamma <= 0.0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+        if self.a_scale < 0.0:
+            raise ValueError(f"a_scale must be non-negative, got {self.a_scale}")
+        if self.alpha_exponent < 0.0:
+            raise ValueError(
+                f"alpha_exponent must be non-negative, got {self.alpha_exponent}"
+            )
+
+    def gamma_rate(self, n_dimensions: int) -> float:
+        """Gamma-prior rate ``b = gamma * M`` for a layer with ``M`` weights."""
+        _check_dimensions(n_dimensions)
+        return self.gamma * float(n_dimensions)
+
+    def gamma_shape(self, n_dimensions: int) -> float:
+        """Gamma-prior shape ``a = 1 + a_scale * b``."""
+        return 1.0 + self.a_scale * self.gamma_rate(n_dimensions)
+
+    def dirichlet_alpha(self, n_dimensions: int) -> np.ndarray:
+        """Dirichlet concentration vector ``alpha_k = M ** alpha_exponent``.
+
+        Returned per component, shape ``(K,)``.  Values below 1 (typical,
+        since ``M ** 0.5`` can still be < M and the update subtracts 1)
+        encourage component pruning via the ``alpha_k - 1`` term of
+        Equation (17).
+        """
+        _check_dimensions(n_dimensions)
+        value = float(n_dimensions) ** self.alpha_exponent
+        return np.full(self.n_components, value, dtype=np.float64)
+
+
+def _check_dimensions(n_dimensions: int) -> None:
+    if n_dimensions < 1:
+        raise ValueError(f"n_dimensions must be >= 1, got {n_dimensions}")

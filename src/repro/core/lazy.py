@@ -1,0 +1,107 @@
+"""Lazy-update schedule from Algorithm 2 of the paper.
+
+Computing the regularization gradient ``g_reg`` and running the EM
+M-step both require evaluating Gaussian densities over every model
+parameter dimension — the bottleneck the paper identifies (Section
+III-D).  Because neither ``g_reg`` nor the GM parameters move much after
+the first few epochs, Algorithm 2 updates them *lazily*:
+
+- During the first ``E`` ("eager") epochs, both are refreshed on every
+  SGD iteration, exactly as in Algorithm 1.
+- Afterwards, ``g_reg`` (the E-step) is refreshed only every ``Im``
+  iterations, and the GM parameters (the M-step) only every ``Ig``
+  iterations; stale values are reused in between.
+
+:class:`LazyUpdateSchedule` encapsulates just the *decision logic* —
+"should this iteration recompute the E-step / M-step?" — so that it can
+be unit-tested independently of any training loop and shared between the
+logistic-regression and neural-network trainers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LazyUpdateSchedule"]
+
+
+@dataclass(frozen=True)
+class LazyUpdateSchedule:
+    """Decision logic of Algorithm 2.
+
+    Attributes
+    ----------
+    model_interval:
+        ``Im`` — iterations between E-step refreshes of ``g_reg`` once
+        lazy updating is active.  ``Im = 1`` disables laziness.
+    gm_interval:
+        ``Ig`` — iterations between M-step refreshes of the GM
+        parameters.  The paper sets ``Ig >= Im`` because the GM
+        converges faster than the model parameters.
+    eager_epochs:
+        ``E`` — number of initial epochs during which every iteration
+        performs both steps.
+    """
+
+    model_interval: int = 1
+    gm_interval: int = 1
+    eager_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.model_interval < 1:
+            raise ValueError(
+                f"model_interval must be >= 1, got {self.model_interval}"
+            )
+        if self.gm_interval < 1:
+            raise ValueError(f"gm_interval must be >= 1, got {self.gm_interval}")
+        if self.eager_epochs < 0:
+            raise ValueError(
+                f"eager_epochs must be >= 0, got {self.eager_epochs}"
+            )
+
+    def should_update_reg_gradient(self, iteration: int, epoch: int) -> bool:
+        """Whether this iteration recomputes responsibilities and ``g_reg``.
+
+        Mirrors line 4 of Algorithm 2:
+        ``epoch_it < E or it mod Im == 0``.
+        """
+        _check_counters(iteration, epoch)
+        return epoch < self.eager_epochs or iteration % self.model_interval == 0
+
+    def should_update_gm(self, iteration: int, epoch: int) -> bool:
+        """Whether this iteration runs the M-step on ``pi`` and ``lambda``.
+
+        Mirrors line 9 of Algorithm 2:
+        ``epoch_it < E or it mod Ig == 0``.
+        """
+        _check_counters(iteration, epoch)
+        return epoch < self.eager_epochs or iteration % self.gm_interval == 0
+
+    @property
+    def is_lazy(self) -> bool:
+        """True when at least one interval actually skips work."""
+        return self.model_interval > 1 or self.gm_interval > 1
+
+    def expected_estep_fraction(self, iterations_per_epoch: int, epochs: int) -> float:
+        """Fraction of iterations that perform the E-step.
+
+        A closed-form helper used by the timing benchmarks to sanity-check
+        measured speedups: with ``E`` eager epochs out of ``epochs``,
+        roughly ``E/epochs + (1 - E/epochs)/Im`` of the iterations pay
+        the E-step cost.
+        """
+        if iterations_per_epoch < 1 or epochs < 1:
+            raise ValueError("iterations_per_epoch and epochs must be >= 1")
+        eager = min(self.eager_epochs, epochs)
+        lazy_epochs = epochs - eager
+        total = iterations_per_epoch * epochs
+        eager_updates = iterations_per_epoch * eager
+        lazy_updates = (iterations_per_epoch * lazy_epochs) / self.model_interval
+        return (eager_updates + lazy_updates) / total
+
+
+def _check_counters(iteration: int, epoch: int) -> None:
+    if iteration < 0:
+        raise ValueError(f"iteration must be >= 0, got {iteration}")
+    if epoch < 0:
+        raise ValueError(f"epoch must be >= 0, got {epoch}")

@@ -1,0 +1,47 @@
+"""Datasets: seeded synthetic stand-ins for the paper's 13 datasets.
+
+The paper evaluates on CIFAR-10, 11 UCI datasets and a proprietary
+hospital dataset.  None are redistributable/available offline, so each
+is replaced by a generator matching its published shape and the
+statistical structure the paper attributes to it (see DESIGN.md,
+"Substitutions").
+"""
+
+from .base import DatasetBundle, EncodedSplit
+from .cifar import ImageDataset, make_cifar_like
+from .hospital import (
+    HOSP_FA_FEATURES,
+    HOSP_FA_SAMPLES,
+    make_hospital_dataset,
+    make_raw_hospital_table,
+)
+from .preprocessing import TabularEncoder, encode_label_column, one_hot, standardize
+from .synthetic import CategoricalSpec, TabularSchema, generate_dataset, generate_table
+from .table import Column, ColumnType, Table
+from .uci import UCI_SPECS, UCISpec, make_uci_dataset, uci_dataset_names
+
+__all__ = [
+    "DatasetBundle",
+    "EncodedSplit",
+    "Table",
+    "Column",
+    "ColumnType",
+    "TabularEncoder",
+    "one_hot",
+    "standardize",
+    "encode_label_column",
+    "TabularSchema",
+    "CategoricalSpec",
+    "generate_table",
+    "generate_dataset",
+    "UCISpec",
+    "UCI_SPECS",
+    "uci_dataset_names",
+    "make_uci_dataset",
+    "HOSP_FA_SAMPLES",
+    "HOSP_FA_FEATURES",
+    "make_hospital_dataset",
+    "make_raw_hospital_table",
+    "ImageDataset",
+    "make_cifar_like",
+]

@@ -1,0 +1,157 @@
+"""Feature preprocessing matching the paper's protocol (Section V-A).
+
+For the UCI datasets the paper preprocesses as follows:
+
+- **categorical** features are one-hot encoded; *missing values are
+  assigned a separate class* (an extra one-hot column);
+- **continuous** features are standardized to zero mean / unit variance;
+  *missing values are imputed by the (training) mean*.
+
+:class:`TabularEncoder` implements exactly this, with scikit-learn-style
+``fit`` / ``transform`` semantics: statistics (means, scales, category
+vocabularies) are estimated on the training split only and reused for
+the test split, which keeps the evaluation honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .table import Column, Table
+
+__all__ = ["TabularEncoder", "one_hot", "standardize"]
+
+# Sentinel category used for missing categorical values ("a separate class").
+MISSING_CATEGORY = "<missing>"
+
+
+def one_hot(values: np.ndarray, categories: List[object]) -> np.ndarray:
+    """One-hot encode ``values`` against a fixed category vocabulary.
+
+    Values outside the vocabulary (unseen test categories) map to the
+    all-zero row, a common and safe convention.
+    """
+    index = {c: i for i, c in enumerate(categories)}
+    out = np.zeros((len(values), len(categories)), dtype=np.float64)
+    for row, value in enumerate(values):
+        col = index.get(value)
+        if col is not None:
+            out[row, col] = 1.0
+    return out
+
+
+def standardize(
+    values: np.ndarray, mean: float, scale: float
+) -> np.ndarray:
+    """``(values - mean) / scale`` with a guarded scale."""
+    return (np.asarray(values, dtype=np.float64) - mean) / max(scale, 1e-12)
+
+
+@dataclass
+class _ContinuousStats:
+    mean: float
+    scale: float
+
+
+@dataclass
+class TabularEncoder:
+    """Encode a :class:`Table` into a dense feature matrix.
+
+    Usage::
+
+        encoder = TabularEncoder()
+        x_train = encoder.fit_transform(train_table)
+        x_test = encoder.transform(test_table)
+
+    After fitting, :attr:`feature_names` lists the produced columns in
+    order (``col`` for continuous, ``col=value`` for one-hot indicators)
+    so model weights can be traced back to input features.
+    """
+
+    _continuous: Dict[str, _ContinuousStats] = field(default_factory=dict)
+    _categorical: Dict[str, List[object]] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+    feature_names: List[str] = field(default_factory=list)
+    _fitted: bool = False
+
+    def fit(self, table: Table) -> "TabularEncoder":
+        """Estimate imputation/scaling statistics and vocabularies."""
+        self._continuous.clear()
+        self._categorical.clear()
+        self._order = []
+        self.feature_names = []
+        for col in table.columns():
+            self._order.append(col.name)
+            if col.is_continuous:
+                present = col.values[~np.isnan(col.values)]
+                mean = float(present.mean()) if present.size else 0.0
+                scale = float(present.std()) if present.size else 1.0
+                self._continuous[col.name] = _ContinuousStats(mean, scale)
+                self.feature_names.append(col.name)
+            else:
+                categories = col.categories()
+                if col.n_missing() > 0:
+                    categories = categories + [MISSING_CATEGORY]
+                self._categorical[col.name] = categories
+                self.feature_names.extend(
+                    f"{col.name}={c}" for c in categories
+                )
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode ``table`` with the fitted statistics."""
+        if not self._fitted:
+            raise RuntimeError("encoder must be fitted before transform")
+        blocks: List[np.ndarray] = []
+        for name in self._order:
+            col = table.column(name)
+            if name in self._continuous:
+                stats = self._continuous[name]
+                values = col.values.copy()
+                values[np.isnan(values)] = stats.mean  # mean imputation
+                blocks.append(
+                    standardize(values, stats.mean, stats.scale)[:, None]
+                )
+            else:
+                categories = self._categorical[name]
+                values = np.asarray(
+                    [MISSING_CATEGORY if v is None else v for v in col.values],
+                    dtype=object,
+                )
+                blocks.append(one_hot(values, categories))
+        return np.concatenate(blocks, axis=1)
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        """Convenience: :meth:`fit` then :meth:`transform`."""
+        return self.fit(table).transform(table)
+
+    @property
+    def n_features(self) -> int:
+        """Width of the encoded matrix."""
+        if not self._fitted:
+            raise RuntimeError("encoder must be fitted first")
+        return len(self.feature_names)
+
+
+def encode_label_column(column: Column) -> np.ndarray:
+    """Map a binary label column to contiguous integer codes 0/1.
+
+    Labels are sorted by ``repr`` for determinism; the greater value
+    becomes class 1.
+    """
+    if column.is_categorical:
+        categories = column.categories()
+    else:
+        categories = sorted(set(float(v) for v in column.values))
+    if len(categories) != 2:
+        raise ValueError(
+            f"expected a binary label column, found classes {categories}"
+        )
+    index = {c: i for i, c in enumerate(categories)}
+    if column.is_categorical:
+        return np.asarray([index[v] for v in column.values], dtype=np.int64)
+    return np.asarray([index[float(v)] for v in column.values], dtype=np.int64)

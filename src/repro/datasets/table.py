@@ -1,0 +1,244 @@
+"""A minimal typed, column-oriented table.
+
+The paper's tool sits inside the GEMINI analytics stack, whose upstream
+stages (cleaning, aggregation, cohort analysis) operate on tabular
+patient data.  pandas is not a dependency of this reproduction, so this
+module provides the small column-store those stages and the dataset
+generators share.
+
+A :class:`Table` is an ordered collection of named, typed
+:class:`Column` objects of equal length.  Continuous columns hold
+``float64`` with ``NaN`` as the missing marker; categorical columns hold
+Python objects (typically strings) with ``None`` as the missing marker.
+Tables are immutable in style: every operation returns a new table and
+shares no mutable state with its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnType", "Column", "Table"]
+
+
+class ColumnType:
+    """Column type tags (a tiny enum kept as strings for readability)."""
+
+    CONTINUOUS = "continuous"
+    CATEGORICAL = "categorical"
+
+    ALL = (CONTINUOUS, CATEGORICAL)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One named, typed column.
+
+    Attributes
+    ----------
+    name:
+        Column name, unique within a table.
+    ctype:
+        ``ColumnType.CONTINUOUS`` or ``ColumnType.CATEGORICAL``.
+    values:
+        ``float64`` array (continuous, NaN = missing) or object array
+        (categorical, None = missing).
+    """
+
+    name: str
+    ctype: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.ctype not in ColumnType.ALL:
+            raise ValueError(f"unknown column type {self.ctype!r}")
+        if self.ctype == ColumnType.CONTINUOUS:
+            values = np.asarray(self.values, dtype=np.float64)
+        else:
+            values = np.asarray(self.values, dtype=object)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.ctype == ColumnType.CONTINUOUS
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.ctype == ColumnType.CATEGORICAL
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask of missing entries."""
+        if self.is_continuous:
+            return np.isnan(self.values)
+        return np.asarray([v is None for v in self.values], dtype=bool)
+
+    def n_missing(self) -> int:
+        """Number of missing entries."""
+        return int(self.missing_mask().sum())
+
+    def categories(self) -> List[object]:
+        """Sorted distinct non-missing values of a categorical column."""
+        if not self.is_categorical:
+            raise TypeError(f"column {self.name!r} is not categorical")
+        distinct = {v for v in self.values if v is not None}
+        return sorted(distinct, key=repr)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Column restricted to ``indices`` (a copy)."""
+        return Column(self.name, self.ctype, self.values[indices].copy())
+
+
+class Table:
+    """An immutable-style collection of equally long columns."""
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"columns disagree on length: {sorted(lengths)}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names: {names}")
+        self._columns: Dict[str, Column] = {c.name: c for c in columns}
+        self._order: List[str] = names
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self._columns[self._order[0]])
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._order)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._order)
+
+    def column(self, name: str) -> Column:
+        """The column named ``name`` (KeyError if absent)."""
+        if name not in self._columns:
+            raise KeyError(f"no column named {name!r}; have {self._order}")
+        return self._columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def columns(self) -> List[Column]:
+        """All columns in declaration order."""
+        return [self._columns[n] for n in self._order]
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.ctype[:4]}" for c in self.columns())
+        return f"Table({self.n_rows} rows; {cols})"
+
+    # ------------------------------------------------------------------
+    # Relational-style operations (used by the pipeline stages)
+    # ------------------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "Table":
+        """Projection onto the given columns, preserving request order."""
+        return Table([self.column(n) for n in names])
+
+    def filter(self, predicate: Callable[[Dict[str, object]], bool]) -> "Table":
+        """Rows for which ``predicate(row_dict)`` is truthy."""
+        keep = [i for i, row in enumerate(self.iter_rows()) if predicate(row)]
+        return self.take(np.asarray(keep, dtype=np.int64))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset/reorder by integer indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table([c.take(indices) for c in self.columns()])
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    def with_column(self, column: Column) -> "Table":
+        """New table with ``column`` appended (or replaced if name exists)."""
+        if len(column) != self.n_rows:
+            raise ValueError(
+                f"column length {len(column)} != table rows {self.n_rows}"
+            )
+        cols = [column if c.name == column.name else c for c in self.columns()]
+        if column.name not in self._columns:
+            cols.append(column)
+        return Table(cols)
+
+    def without_columns(self, names: Iterable[str]) -> "Table":
+        """New table with the given columns dropped."""
+        drop = set(names)
+        remaining = [c for c in self.columns() if c.name not in drop]
+        return Table(remaining)
+
+    def iter_rows(self) -> Iterable[Dict[str, object]]:
+        """Iterate rows as ``{column_name: value}`` dicts."""
+        cols = self.columns()
+        for i in range(self.n_rows):
+            yield {c.name: c.values[i] for c in cols}
+
+    def row(self, index: int) -> Dict[str, object]:
+        """Row ``index`` as a dict."""
+        if not 0 <= index < self.n_rows:
+            raise IndexError(f"row {index} out of range [0, {self.n_rows})")
+        return {c.name: c.values[index] for c in self.columns()}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        data: Dict[str, Sequence[object]],
+        ctypes: Optional[Dict[str, str]] = None,
+    ) -> "Table":
+        """Build a table from ``{name: values}``.
+
+        Column types are taken from ``ctypes`` when given, otherwise
+        inferred: numeric dtypes become continuous, everything else
+        categorical.
+        """
+        ctypes = ctypes or {}
+        columns = []
+        for name, values in data.items():
+            if name in ctypes:
+                ctype = ctypes[name]
+            else:
+                arr = np.asarray(values)
+                ctype = (
+                    ColumnType.CONTINUOUS
+                    if np.issubdtype(arr.dtype, np.number)
+                    else ColumnType.CATEGORICAL
+                )
+            columns.append(Column(name, ctype, np.asarray(values, dtype=object)
+                                  if ctype == ColumnType.CATEGORICAL
+                                  else np.asarray(values, dtype=np.float64)))
+        return cls(columns)
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """``{name: values}`` view of the table (copies)."""
+        return {c.name: c.values.copy() for c in self.columns()}
+
+    def equals(self, other: "Table") -> bool:
+        """Structural equality (names, types, values; NaN == NaN)."""
+        if self._order != other._order:
+            return False
+        for a, b in zip(self.columns(), other.columns()):
+            if a.ctype != b.ctype or len(a) != len(b):
+                return False
+            if a.is_continuous:
+                if not np.array_equal(a.values, b.values, equal_nan=True):
+                    return False
+            elif not all(x == y for x, y in zip(a.values, b.values)):
+                return False
+        return True

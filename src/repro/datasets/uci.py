@@ -1,0 +1,259 @@
+"""Synthetic stand-ins for the paper's 11 UCI benchmark datasets.
+
+The paper evaluates on the first 11 binary-classification UCI datasets
+(alphabetical order, Table II).  The UCI repository is not available
+offline, so each dataset is replaced by a seeded synthetic generator
+whose *published shape* is matched exactly:
+
+- sample count (Table II "# Samples"),
+- encoded feature count (Table II "# Features", i.e. after one-hot),
+- feature type (categorical / continuous / combined),
+- presence of missing values in the combined datasets,
+- high feature-to-sample ratio (most > 10%), the regime the paper
+  highlights.
+
+Difficulty (``class_separation`` / ``flip_rate`` of the class-
+conditional generative model) is calibrated per dataset so that a tuned
+logistic regression lands near the accuracy band reported in Table VII
+— which is what makes the reproduced Table VII comparable in *shape* to
+the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .base import DatasetBundle
+from .synthetic import CategoricalSpec, TabularSchema, generate_dataset
+
+__all__ = ["UCISpec", "UCI_SPECS", "uci_dataset_names", "make_uci_dataset"]
+
+
+def _cats(prefix: str, levels: Tuple[int, ...]) -> Tuple[CategoricalSpec, ...]:
+    return tuple(
+        CategoricalSpec(f"{prefix}{i}", n) for i, n in enumerate(levels)
+    )
+
+
+@dataclass(frozen=True)
+class UCISpec:
+    """Published characteristics + generator knobs for one UCI stand-in."""
+
+    name: str
+    n_samples: int
+    feature_type: str  # "categorical" | "continuous" | "combined"
+    schema: TabularSchema
+    paper_gm_accuracy: float  # Table VII, GM Reg column
+    seed_offset: int  # decorrelates datasets generated from the same seed
+
+    @property
+    def n_encoded_features(self) -> int:
+        """Expected encoded width (Table II '# Features')."""
+        return self.schema.n_encoded_features
+
+
+# ----------------------------------------------------------------------
+# The 11 datasets of Table II.  Encoded widths match the table exactly:
+# categorical attributes contribute n_levels one-hot columns each and
+# missing values are only injected into continuous features (mean-imputed,
+# hence width-neutral).  class_separation / flip_rate are calibrated so a
+# tuned logistic regression reproduces the Table VII accuracy band.
+# ----------------------------------------------------------------------
+UCI_SPECS: Dict[str, UCISpec] = {
+    spec.name: spec
+    for spec in [
+        UCISpec(
+            name="breast-canc",
+            n_samples=699,
+            feature_type="categorical",
+            schema=TabularSchema(
+                categorical=_cats("attr", (9,) * 9),  # 9 x 9 = 81
+                predictive_fraction=0.4,
+                class_separation=3.2,
+                flip_rate=0.01,
+            ),
+            paper_gm_accuracy=0.970,
+            seed_offset=101,
+        ),
+        UCISpec(
+            name="breast-canc-dia",
+            n_samples=569,
+            feature_type="continuous",
+            schema=TabularSchema(
+                n_continuous=30,
+                predictive_fraction=0.3,
+                class_separation=4.0,
+                flip_rate=0.005,
+            ),
+            paper_gm_accuracy=0.981,
+            seed_offset=102,
+        ),
+        UCISpec(
+            name="breast-canc-pro",
+            n_samples=198,
+            feature_type="continuous",
+            schema=TabularSchema(
+                n_continuous=33,
+                predictive_fraction=0.2,
+                class_separation=2.6,
+                flip_rate=0.02,
+            ),
+            paper_gm_accuracy=0.859,
+            seed_offset=103,
+        ),
+        UCISpec(
+            name="climate-model",
+            n_samples=540,
+            feature_type="continuous",
+            schema=TabularSchema(
+                n_continuous=18,
+                predictive_fraction=0.25,
+                class_separation=4.0,
+                flip_rate=0.02,
+            ),
+            paper_gm_accuracy=0.969,
+            seed_offset=104,
+        ),
+        UCISpec(
+            name="congress-voting",
+            n_samples=435,
+            feature_type="categorical",
+            schema=TabularSchema(
+                categorical=_cats("vote", (2,) * 16),  # 16 x 2 = 32
+                predictive_fraction=0.5,
+                class_separation=4.0,
+                signal_std=1.2,
+                flip_rate=0.015,
+                category_concentration=5.0,
+            ),
+            paper_gm_accuracy=0.977,
+            seed_offset=105,
+        ),
+        UCISpec(
+            name="conn-sonar",
+            n_samples=208,
+            feature_type="continuous",
+            schema=TabularSchema(
+                n_continuous=60,
+                predictive_fraction=0.3,
+                class_separation=3.3,
+                flip_rate=0.01,
+            ),
+            paper_gm_accuracy=0.847,
+            seed_offset=106,
+        ),
+        UCISpec(
+            name="credit-approval",
+            n_samples=690,
+            feature_type="combined",
+            schema=TabularSchema(
+                n_continuous=6,
+                categorical=_cats("cat", (2, 2, 3, 3, 4, 4, 5, 6, 7)),  # 6+36=42
+                missing_continuous_rate=0.02,
+                predictive_fraction=0.25,
+                class_separation=1.9,
+                flip_rate=0.06,
+            ),
+            paper_gm_accuracy=0.878,
+            seed_offset=107,
+        ),
+        UCISpec(
+            name="cylindar-bands",
+            n_samples=541,
+            feature_type="combined",
+            schema=TabularSchema(
+                n_continuous=19,
+                categorical=_cats("cat", (2, 3, 4, 5, 6, 7, 8, 9, 10, 20)),  # 19+74=93
+                missing_continuous_rate=0.05,
+                predictive_fraction=0.15,
+                class_separation=1.7,
+                flip_rate=0.1,
+            ),
+            paper_gm_accuracy=0.798,
+            seed_offset=108,
+        ),
+        UCISpec(
+            name="hepatitis",
+            n_samples=155,
+            feature_type="combined",
+            schema=TabularSchema(
+                n_continuous=6,
+                categorical=_cats("cat", (2,) * 14),  # 6+28=34
+                missing_continuous_rate=0.02,
+                predictive_fraction=0.35,
+                class_separation=2.4,
+                flip_rate=0.03,
+                category_concentration=5.0,
+            ),
+            paper_gm_accuracy=0.904,
+            seed_offset=109,
+        ),
+        UCISpec(
+            name="horse-colic",
+            n_samples=368,
+            feature_type="combined",
+            schema=TabularSchema(
+                n_continuous=7,
+                categorical=_cats("cat", (3,) * 17),  # 7+51=58
+                missing_continuous_rate=0.1,
+                predictive_fraction=0.25,
+                class_separation=1.9,
+                flip_rate=0.03,
+            ),
+            paper_gm_accuracy=0.870,
+            seed_offset=110,
+        ),
+        UCISpec(
+            name="ionosphere",
+            n_samples=351,
+            feature_type="combined",
+            schema=TabularSchema(
+                n_continuous=31,
+                categorical=_cats("cat", (2,)),  # 31+2=33
+                predictive_fraction=0.25,
+                class_separation=2.9,
+                flip_rate=0.02,
+            ),
+            paper_gm_accuracy=0.920,
+            seed_offset=111,
+        ),
+    ]
+}
+
+
+def uci_dataset_names() -> List[str]:
+    """The 11 dataset names in the paper's (alphabetical) order."""
+    return list(UCI_SPECS.keys())
+
+
+def make_uci_dataset(name: str, seed: int = 0) -> DatasetBundle:
+    """Generate the named UCI stand-in.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`uci_dataset_names`.
+    seed:
+        Base seed; the per-dataset ``seed_offset`` is mixed in so two
+        datasets generated from the same base seed are independent.
+    """
+    if name not in UCI_SPECS:
+        raise KeyError(f"unknown UCI dataset {name!r}; have {uci_dataset_names()}")
+    spec = UCI_SPECS[name]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, spec.seed_offset]))
+    table, labels, true_weights = generate_dataset(spec.schema, spec.n_samples, rng)
+    return DatasetBundle(
+        name=spec.name,
+        table=table,
+        labels=labels,
+        feature_type=spec.feature_type,
+        true_weights=true_weights,
+        description=(
+            f"Synthetic stand-in for UCI {spec.name!r} "
+            f"({spec.n_samples} samples, {spec.n_encoded_features} encoded "
+            f"features, {spec.feature_type})"
+        ),
+    )

@@ -1,0 +1,286 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Four ablations quantify the implementation decisions that are not
+dictated verbatim by the paper:
+
+1. **Component pruning** (Eq. 17's alpha-driven zeroing) vs. flooring
+   coefficients at epsilon — pruning is what collapses K=4 to the 1-2
+   components of Tables IV/V.
+2. **Component merging** of same-fixed-point precisions vs. keeping
+   duplicate components — merging is the "gradually merged to one"
+   behaviour of Section V-B1.
+3. **Log-space responsibilities** (log-sum-exp) vs. the naive direct
+   formula — the naive path over/underflows for the large precisions
+   the EM produces.
+4. **Per-layer vs. single global GM** for deep models — the paper uses
+   per-layer GMs (Section V-B1); a shared GM cannot adapt to each
+   layer's weight scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core import GMRegularizer, GaussianMixture
+from ..core.regularizers import Regularizer
+from ..datasets import ImageDataset
+from ..nn import Network
+from ..optim import Trainer
+from .deep import DeepRunConfig, build_model, load_image_data
+
+__all__ = [
+    "run_pruning_ablation",
+    "run_merge_ablation",
+    "naive_responsibilities",
+    "responsibility_stability_comparison",
+    "run_layer_sharing_ablation",
+]
+
+
+def _fit_gm_on_weights(
+    w: np.ndarray,
+    prune: bool,
+    merge: bool,
+    n_steps: int = 200,
+) -> GMRegularizer:
+    reg = GMRegularizer(
+        n_dimensions=w.size,
+        weight_init_std=0.1,
+        prune_components=prune,
+        merge_components=merge,
+    )
+    for it in range(n_steps):
+        reg.update(w, it)
+    return reg
+
+
+def run_pruning_ablation(
+    rng: np.random.Generator, n_dims: int = 2000
+) -> Dict[str, int]:
+    """Final component counts with pruning on vs. off.
+
+    On the paper's bimodal weight structure, pruning+merging reach the
+    1-2 component fixed point; with both off, all K=4 components
+    survive (possibly as duplicates).
+    """
+    w = np.concatenate([
+        rng.normal(0, 0.02, int(0.9 * n_dims)),
+        rng.normal(0, 0.5, n_dims - int(0.9 * n_dims)),
+    ])
+    with_pruning = _fit_gm_on_weights(w, prune=True, merge=True)
+    without = _fit_gm_on_weights(w, prune=False, merge=False)
+    return {
+        "paper (prune+merge)": with_pruning.mixture.n_components,
+        "ablated (neither)": without.mixture.n_components,
+    }
+
+
+def run_merge_ablation(
+    rng: np.random.Generator, n_dims: int = 2000
+) -> Dict[str, Tuple[int, float]]:
+    """Component count and duplicate-precision mass with merging off.
+
+    Returns per variant ``(n_components, max_relative_precision_gap)``
+    among surviving components: with merging off, several components
+    converge to the same precision (gap ~0), i.e. they are redundant.
+    """
+    w = np.concatenate([
+        rng.normal(0, 0.02, int(0.9 * n_dims)),
+        rng.normal(0, 0.5, n_dims - int(0.9 * n_dims)),
+    ])
+    results: Dict[str, Tuple[int, float]] = {}
+    for label, merge in (("merge on", True), ("merge off", False)):
+        reg = _fit_gm_on_weights(w, prune=True, merge=merge)
+        lam = np.sort(reg.lam)
+        if lam.size > 1:
+            gaps = np.diff(lam) / lam[1:]
+            min_gap = float(gaps.min())
+        else:
+            min_gap = math.inf
+        results[label] = (reg.mixture.n_components, min_gap)
+    return results
+
+
+def naive_responsibilities(
+    mixture: GaussianMixture, w: np.ndarray
+) -> np.ndarray:
+    """The direct (non-log-space) responsibility formula of Eq. (9).
+
+    Intentionally naive: evaluates Gaussian densities directly and
+    normalizes.  Overflows/underflows for large precisions — kept as
+    the ablation baseline for the log-sum-exp implementation.
+    """
+    w = np.asarray(w, dtype=np.float64).reshape(-1)
+    with np.errstate(over="ignore", under="ignore", invalid="ignore",
+                     divide="ignore"):
+        dens = (
+            np.sqrt(mixture.lam)[None, :]
+            / np.sqrt(2.0 * np.pi)
+            * np.exp(-0.5 * mixture.lam[None, :] * w[:, None] ** 2)
+        )
+        weighted = mixture.pi[None, :] * dens
+        return weighted / weighted.sum(axis=1, keepdims=True)
+
+
+def responsibility_stability_comparison(
+    precision_scale: float = 1e8,
+) -> Dict[str, float]:
+    """Fraction of non-finite responsibility rows: naive vs. log-space.
+
+    With two high-precision components (which late-stage EM produces
+    when most weights sit near zero), both direct densities underflow
+    for weights a short distance from the origin, so the naive formula
+    loses rows to 0/0 while the log-sum-exp implementation stays exact.
+    """
+    mixture = GaussianMixture(
+        pi=np.array([0.5, 0.5]),
+        lam=np.array([precision_scale * 1e-4, precision_scale]),
+    )
+    w = np.linspace(-5.0, 5.0, 401)
+    naive = naive_responsibilities(mixture, w)
+    stable = mixture.responsibilities(w)
+    return {
+        "naive_bad_rows": float(np.mean(~np.isfinite(naive).all(axis=1))),
+        "logspace_bad_rows": float(np.mean(~np.isfinite(stable).all(axis=1))),
+    }
+
+
+class _SharedGMAdapter(Regularizer):
+    """Routes a layer's weight slice through one shared global GM."""
+
+    def __init__(self, shared: GMRegularizer, offset: int, size: int,
+                 owner_state: dict):
+        self._shared = shared
+        self._offset = offset
+        self._size = size
+        self._state = owner_state  # holds the concatenated weight buffer
+
+    def _write_slice(self, w: np.ndarray) -> None:
+        flat = np.asarray(w, dtype=np.float64).reshape(-1)
+        self._state["buffer"][self._offset : self._offset + self._size] = flat
+
+    def penalty(self, w: np.ndarray) -> float:
+        self._write_slice(w)
+        return 0.0
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        self._write_slice(w)
+        full = self._shared.gradient(self._state["buffer"])
+        return full[self._offset : self._offset + self._size].reshape(
+            np.asarray(w).shape
+        )
+
+    def prepare(self, w: np.ndarray, iteration: int) -> None:
+        self._write_slice(w)
+        if self._offset == 0:  # one designated driver per iteration
+            self._shared.prepare(self._state["buffer"], iteration)
+
+    def update(self, w: np.ndarray, iteration: int) -> None:
+        self._write_slice(w)
+        if self._offset == 0:
+            self._shared.update(self._state["buffer"], iteration)
+
+    def epoch_end(self, epoch: int) -> None:
+        if self._offset == 0:
+            self._shared.epoch_end(epoch)
+
+
+def attach_global_gm(network: Network) -> GMRegularizer:
+    """Attach one *shared* GM across all weight tensors (ablation mode).
+
+    Returns the shared regularizer so callers can inspect the single
+    learned mixture.
+    """
+    sizes = []
+
+    def measure(name: str, m: int, std: float) -> Optional[Regularizer]:
+        sizes.append((name, m, std))
+        return None
+
+    network.attach_regularizers(measure)
+    total = sum(m for _n, m, _s in sizes)
+    mean_std = float(np.mean([s for _n, _m, s in sizes]))
+    shared = GMRegularizer(n_dimensions=total, weight_init_std=mean_std)
+    state = {"buffer": np.zeros(total)}
+    offsets = {}
+    cursor = 0
+    for name, m, _std in sizes:
+        offsets[name] = (cursor, m)
+        cursor += m
+
+    def factory(name: str, m: int, std: float) -> Optional[Regularizer]:
+        del std
+        offset, size = offsets[name]
+        assert size == m
+        return _SharedGMAdapter(shared, offset, m, state)
+
+    network.attach_regularizers(factory)
+    return shared
+
+
+@dataclass
+class LayerSharingAblation:
+    """Outcome of the per-layer vs. global GM comparison."""
+
+    per_layer_accuracy: float
+    global_accuracy: float
+    per_layer_lambdas: Dict[str, np.ndarray]
+    global_lambda: np.ndarray
+
+
+def run_layer_sharing_ablation(
+    config: DeepRunConfig,
+    data: Optional[ImageDataset] = None,
+) -> LayerSharingAblation:
+    """Train with per-layer GMs vs. one global GM and compare.
+
+    The paper's design learns one mixture per layer so each layer's
+    regularization adapts to its own weight scale (Tables IV/V); the
+    global variant averages everything into one mixture.
+    """
+    from ..core import GMHyperParams
+    from .deep import DEFAULT_GAMMA
+
+    data = data or load_image_data(config)
+    gamma = DEFAULT_GAMMA[config.model]
+
+    # Per-layer (the paper's design).
+    per_layer_net = build_model(config)
+    per_layer_regs: Dict[str, GMRegularizer] = {}
+
+    def per_layer_factory(name, m, std):
+        reg = GMRegularizer(
+            n_dimensions=m, weight_init_std=std,
+            hyperparams=GMHyperParams(gamma=gamma),
+        )
+        per_layer_regs[name] = reg
+        return reg
+
+    per_layer_net.attach_regularizers(per_layer_factory)
+    trainer = Trainer(per_layer_net, lr=config.effective_lr,
+                      momentum=config.momentum, batch_size=config.batch_size)
+    trainer.fit(data.x_train, data.y_train, epochs=config.epochs,
+                rng=np.random.default_rng(config.seed + 1))
+    per_layer_acc = float(
+        np.mean(per_layer_net.predict(data.x_test) == data.y_test)
+    )
+
+    # Global (ablation).
+    global_net = build_model(config)
+    shared = attach_global_gm(global_net)
+    trainer = Trainer(global_net, lr=config.effective_lr,
+                      momentum=config.momentum, batch_size=config.batch_size)
+    trainer.fit(data.x_train, data.y_train, epochs=config.epochs,
+                rng=np.random.default_rng(config.seed + 1))
+    global_acc = float(np.mean(global_net.predict(data.x_test) == data.y_test))
+
+    return LayerSharingAblation(
+        per_layer_accuracy=per_layer_acc,
+        global_accuracy=global_acc,
+        per_layer_lambdas={n: r.lam.copy() for n, r in per_layer_regs.items()},
+        global_lambda=shared.lam.copy(),
+    )

@@ -1,0 +1,177 @@
+"""GM adaptivity vs. classic hyper-parameter search (Section VI-B).
+
+The paper positions adaptive GM regularization against hyper-parameter
+optimization: grid/random search (and BO) must *train many models* to
+find a good fixed regularization strength, while the GM tool adapts
+within a single training run.  This module quantifies that trade-off:
+
+- :func:`random_search_l2` — the random-search baseline: sample ``n``
+  L2 strengths log-uniformly, train one model per candidate, pick by
+  validation accuracy (Bergstra & Bengio, 2012 — reference [38]).
+- :func:`grid_search_l2` — the classic grid variant.
+- :func:`compare_hpo_budgets` — accuracy-vs-trainings curves: how many
+  full trainings does search need to match one adaptive GM run?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core import GMRegularizer, L2Regularizer
+from ..linear import LogisticRegression, accuracy
+from ..optim import Trainer
+
+__all__ = [
+    "HPOTrial",
+    "HPOResult",
+    "random_search_l2",
+    "grid_search_l2",
+    "train_adaptive_gm",
+    "compare_hpo_budgets",
+]
+
+
+@dataclass(frozen=True)
+class HPOTrial:
+    """One candidate evaluation."""
+
+    strength: float
+    val_accuracy: float
+
+
+@dataclass(frozen=True)
+class HPOResult:
+    """Outcome of a search: trials, the pick, and its test accuracy."""
+
+    trials: Tuple[HPOTrial, ...]
+    best_strength: float
+    test_accuracy: float
+
+    @property
+    def n_trainings(self) -> int:
+        return len(self.trials) + 1  # candidates + final refit
+
+
+def _train_l2(
+    x_train, y_train, strength: float, epochs: int, lr: float, seed: int
+) -> LogisticRegression:
+    model = LogisticRegression(
+        x_train.shape[1],
+        regularizer=L2Regularizer(strength) if strength > 0 else None,
+        rng=np.random.default_rng(seed),
+    )
+    Trainer(model, lr=lr, batch_size=32).fit(
+        x_train, y_train, epochs=epochs, rng=np.random.default_rng(seed + 1)
+    )
+    return model
+
+
+def _search_l2(
+    candidates: Sequence[float],
+    x_train, y_train, x_val, y_val, x_test, y_test,
+    epochs: int, lr: float, seed: int,
+) -> HPOResult:
+    trials: List[HPOTrial] = []
+    for i, strength in enumerate(candidates):
+        model = _train_l2(x_train, y_train, strength, epochs, lr, seed + 7 * i)
+        trials.append(HPOTrial(
+            strength=float(strength),
+            val_accuracy=accuracy(y_val, model.predict(x_val)),
+        ))
+    best = max(trials, key=lambda t: t.val_accuracy)
+    final = _train_l2(
+        np.concatenate([x_train, x_val]),
+        np.concatenate([y_train, y_val]),
+        best.strength, epochs, lr, seed + 999,
+    )
+    return HPOResult(
+        trials=tuple(trials),
+        best_strength=best.strength,
+        test_accuracy=accuracy(y_test, final.predict(x_test)),
+    )
+
+
+def random_search_l2(
+    x_train, y_train, x_val, y_val, x_test, y_test,
+    n_trials: int = 8,
+    strength_range: Tuple[float, float] = (1e-2, 1e3),
+    epochs: int = 100,
+    lr: float = 0.5,
+    seed: int = 0,
+) -> HPOResult:
+    """Random search over the L2 strength (log-uniform)."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    lo, hi = strength_range
+    if not 0 < lo < hi:
+        raise ValueError(f"invalid strength_range {strength_range}")
+    rng = np.random.default_rng(seed)
+    candidates = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_trials))
+    return _search_l2(candidates, x_train, y_train, x_val, y_val,
+                      x_test, y_test, epochs, lr, seed)
+
+
+def grid_search_l2(
+    x_train, y_train, x_val, y_val, x_test, y_test,
+    grid: Sequence[float] = (0.1, 1.0, 10.0, 100.0, 1000.0),
+    epochs: int = 100,
+    lr: float = 0.5,
+    seed: int = 0,
+) -> HPOResult:
+    """Grid search over the L2 strength."""
+    return _search_l2(grid, x_train, y_train, x_val, y_val,
+                      x_test, y_test, epochs, lr, seed)
+
+
+def train_adaptive_gm(
+    x_train, y_train, x_val, y_val, x_test, y_test,
+    epochs: int = 100,
+    lr: float = 0.5,
+    seed: int = 0,
+) -> float:
+    """One GM training run on train+val (no search loop needed)."""
+    x_all = np.concatenate([x_train, x_val])
+    y_all = np.concatenate([y_train, y_val])
+    model = LogisticRegression(
+        x_all.shape[1],
+        regularizer=GMRegularizer(n_dimensions=x_all.shape[1]),
+        rng=np.random.default_rng(seed),
+    )
+    Trainer(model, lr=lr, batch_size=32).fit(
+        x_all, y_all, epochs=epochs, rng=np.random.default_rng(seed + 1)
+    )
+    return accuracy(y_test, model.predict(x_test))
+
+
+def compare_hpo_budgets(
+    x_train, y_train, x_val, y_val, x_test, y_test,
+    budgets: Sequence[int] = (1, 2, 4, 8),
+    epochs: int = 100,
+    lr: float = 0.5,
+    seed: int = 0,
+) -> dict:
+    """Random-search accuracy per training budget vs. one GM run.
+
+    Returns ``{"gm": (accuracy, 1), "random@k": (accuracy, k+1), ...}``
+    mapping each strategy to its test accuracy and the number of full
+    trainings it consumed.
+    """
+    results = {
+        "gm (adaptive)": (
+            train_adaptive_gm(x_train, y_train, x_val, y_val,
+                              x_test, y_test, epochs, lr, seed),
+            1,
+        )
+    }
+    for budget in budgets:
+        outcome = random_search_l2(
+            x_train, y_train, x_val, y_val, x_test, y_test,
+            n_trials=budget, epochs=epochs, lr=lr, seed=seed,
+        )
+        results[f"random-search@{budget}"] = (
+            outcome.test_accuracy, outcome.n_trainings
+        )
+    return results

@@ -1,0 +1,111 @@
+"""Regularizer construction and cross-validation grids.
+
+Maps the paper's five method names to regularizer instances and defines
+the hyper-parameter grids each method is tuned over in the Table VII
+protocol ("under their best settings", Section V).  The GM grid is the
+paper's own gamma grid (Section V-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import (
+    ElasticNetRegularizer,
+    GMHyperParams,
+    GMRegularizer,
+    HuberRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    LazyUpdateSchedule,
+    Regularizer,
+    gamma_grid,
+)
+
+__all__ = ["METHODS", "make_regularizer", "default_grid"]
+
+METHODS = ("none", "l1", "l2", "elastic", "huber", "gm")
+
+# Strength grid for the fixed-form baselines.  Strengths are on the
+# *prior* scale (the trainer applies the 1/N normalization), so values
+# span from negligible to very strong regularization.
+_STRENGTHS = (0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+def make_regularizer(
+    method: str,
+    n_dimensions: int,
+    params: Optional[Dict[str, object]] = None,
+    weight_init_std: float = 0.1,
+    schedule: Optional[LazyUpdateSchedule] = None,
+) -> Optional[Regularizer]:
+    """Instantiate the named regularizer with the given setting.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHODS`.
+    n_dimensions:
+        ``M`` for the GM regularizer (ignored by fixed baselines).
+    params:
+        Method-specific setting, typically one entry of
+        :func:`default_grid`.
+    weight_init_std, schedule:
+        Forwarded to :class:`GMRegularizer`.
+    """
+    params = dict(params or {})
+    if method == "none":
+        return None
+    if method == "l1":
+        return L1Regularizer(strength=float(params.get("strength", 1.0)))
+    if method == "l2":
+        return L2Regularizer(strength=float(params.get("strength", 1.0)))
+    if method == "elastic":
+        return ElasticNetRegularizer(
+            strength=float(params.get("strength", 1.0)),
+            l1_ratio=float(params.get("l1_ratio", 0.5)),
+        )
+    if method == "huber":
+        return HuberRegularizer(
+            strength=float(params.get("strength", 1.0)),
+            mu=float(params.get("mu", 1.0)),
+        )
+    if method == "gm":
+        hp = GMHyperParams(
+            n_components=int(params.get("n_components", 4)),
+            gamma=float(params.get("gamma", 0.005)),
+            a_scale=float(params.get("a_scale", 0.01)),
+            alpha_exponent=float(params.get("alpha_exponent", 0.5)),
+        )
+        return GMRegularizer(
+            n_dimensions=n_dimensions,
+            weight_init_std=weight_init_std,
+            hyperparams=hp,
+            init_method=str(params.get("init_method", "linear")),
+            schedule=schedule,
+        )
+    raise ValueError(f"unknown method {method!r}; have {METHODS}")
+
+
+def default_grid(method: str, compact: bool = False) -> List[Dict[str, object]]:
+    """Cross-validation candidates for the Table VII protocol.
+
+    ``compact=True`` halves the grids for the fast benchmark variants.
+    """
+    if method == "none":
+        return [{}]
+    strengths = _STRENGTHS[1::2] if compact else _STRENGTHS
+    if method in ("l1", "l2"):
+        return [{"strength": s} for s in strengths]
+    if method == "elastic":
+        ratios = (0.5,) if compact else (0.15, 0.5, 0.85)
+        return [
+            {"strength": s, "l1_ratio": r} for s in strengths for r in ratios
+        ]
+    if method == "huber":
+        mus = (1.0,) if compact else (0.1, 1.0)
+        return [{"strength": s, "mu": mu} for s in strengths for mu in mus]
+    if method == "gm":
+        gammas = gamma_grid()[1::2] if compact else gamma_grid()
+        return [{"gamma": g} for g in gammas]
+    raise ValueError(f"unknown method {method!r}; have {METHODS}")

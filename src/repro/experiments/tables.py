@@ -1,0 +1,185 @@
+"""Paper reference values and plain-text table/series formatting.
+
+Every benchmark prints its reproduced rows next to the paper's reported
+numbers so the comparison is visible in the bench output and can be
+copied into EXPERIMENTS.md.  Constants below are transcribed from the
+paper (ICDE 2018, Tables IV-VIII and Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PAPER_TABLE6",
+    "PAPER_TABLE7",
+    "PAPER_TABLE8",
+    "PAPER_TABLE4_ALEX",
+    "PAPER_TABLE5_RESNET",
+    "PAPER_FIG3_MIXTURES",
+    "format_table",
+    "format_table7",
+    "format_table6",
+    "format_mixture_rows",
+    "format_timing_curves",
+    "format_series",
+]
+
+# Table VI: accuracy on the deep models.
+PAPER_TABLE6: Dict[str, Dict[str, float]] = {
+    "alex": {"none": 0.777, "l2": 0.822, "gm": 0.830},
+    "resnet": {"none": 0.901, "l2": 0.909, "gm": 0.921},
+}
+
+# Table VII: mean accuracy per dataset x method.
+PAPER_TABLE7: Dict[str, Dict[str, float]] = {
+    "Hosp-FA":         {"l1": 0.844, "l2": 0.842, "elastic": 0.847, "huber": 0.845, "gm": 0.848},
+    "breast-canc":     {"l1": 0.963, "l2": 0.969, "elastic": 0.970, "huber": 0.970, "gm": 0.970},
+    "breast-canc-dia": {"l1": 0.972, "l2": 0.979, "elastic": 0.981, "huber": 0.982, "gm": 0.981},
+    "breast-canc-pro": {"l1": 0.818, "l2": 0.834, "elastic": 0.839, "huber": 0.834, "gm": 0.859},
+    "climate-model":   {"l1": 0.965, "l2": 0.963, "elastic": 0.965, "huber": 0.967, "gm": 0.969},
+    "congress-voting": {"l1": 0.968, "l2": 0.970, "elastic": 0.972, "huber": 0.972, "gm": 0.977},
+    "conn-sonar":      {"l1": 0.803, "l2": 0.832, "elastic": 0.837, "huber": 0.830, "gm": 0.847},
+    "credit-approval": {"l1": 0.867, "l2": 0.868, "elastic": 0.875, "huber": 0.874, "gm": 0.878},
+    "cylindar-bands":  {"l1": 0.782, "l2": 0.791, "elastic": 0.795, "huber": 0.791, "gm": 0.798},
+    "hepatitis":       {"l1": 0.866, "l2": 0.898, "elastic": 0.904, "huber": 0.898, "gm": 0.904},
+    "horse-colic":     {"l1": 0.835, "l2": 0.842, "elastic": 0.864, "huber": 0.859, "gm": 0.870},
+    "ionosphere":      {"l1": 0.906, "l2": 0.903, "elastic": 0.909, "huber": 0.909, "gm": 0.920},
+}
+
+# Table VIII: average accuracy per GM initialization method.
+PAPER_TABLE8: Dict[str, Dict[str, float]] = {
+    "alex": {"linear": 0.819, "identical": 0.802, "proportional": 0.817},
+    "resnet": {"linear": 0.918, "identical": 0.912, "proportional": 0.916},
+}
+
+# Table IV: learned (pi, lambda) per Alex-CIFAR-10 layer.
+PAPER_TABLE4_ALEX: Dict[str, Tuple[List[float], List[float]]] = {
+    "conv1/weight": ([0.216, 0.784], [10.727, 835.959]),
+    "conv2/weight": ([0.019, 0.981], [0.640, 1904.024]),
+    "conv3/weight": ([0.013, 0.987], [0.095, 2017.931]),
+    "dense/weight": ([0.036, 0.964], [3.939, 1277.578]),
+}
+
+# Table V: representative learned (pi, lambda) per ResNet layer.
+PAPER_TABLE5_RESNET: Dict[str, Tuple[List[float], List[float]]] = {
+    "conv1/weight": ([0.377, 0.623], [0.301, 8.106]),
+    "2a-br1-conv1/weight": ([0.066, 0.934], [0.149, 22.620]),
+    "2a-br1-conv2/weight": ([0.062, 0.938], [0.145, 23.016]),
+    "3a-br2-conv/weight": ([0.152, 0.848], [0.195, 22.010]),
+    "3a-br1-conv1/weight": ([0.047, 0.953], [0.141, 22.824]),
+    "3a-br1-conv2/weight": ([0.032, 0.968], [0.121, 23.617]),
+    "4a-br2-conv/weight": ([0.068, 0.932], [0.157, 22.733]),
+    "4a-br1-conv1/weight": ([0.023, 0.977], [0.114, 23.868]),
+    "4a-br1-conv2/weight": ([0.016, 0.984], [0.109, 24.396]),
+    "ip5/weight": ([0.230, 0.770], [0.865, 6.979]),
+}
+
+# Figure 3: learned mixtures on two representative small datasets.
+PAPER_FIG3_MIXTURES: Dict[str, Tuple[List[float], List[float]]] = {
+    "horse-colic": ([0.326, 0.674], [1.270, 31.295]),
+    "conn-sonar": ([0.345, 0.655], [0.062, 0.607]),
+}
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Simple fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_table7(comparisons, paper: Optional[Dict] = None) -> str:
+    """Reproduced Table VII (with paper values in parentheses if given)."""
+    paper = paper if paper is not None else PAPER_TABLE7
+    methods = ["l1", "l2", "elastic", "huber", "gm"]
+    headers = ["Dataset"] + [m.upper() for m in methods]
+    rows = []
+    for comp in comparisons:
+        row = [comp.dataset]
+        reference = paper.get(comp.dataset, {})
+        for method in methods:
+            result = comp.results.get(method)
+            if result is None:
+                row.append("-")
+                continue
+            cell = f"{result.mean_accuracy:.3f}±{result.stderr:.3f}"
+            if method in reference:
+                cell += f" (paper {reference[method]:.3f})"
+            row.append(cell)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_table6(results: Dict[str, object], model: str) -> str:
+    """Reproduced Table VI column for one model."""
+    reference = PAPER_TABLE6.get(model, {})
+    rows = []
+    for method in ("none", "l2", "gm"):
+        if method not in results:
+            continue
+        result = results[method]
+        rows.append(
+            [
+                {"none": "no regularization", "l2": "L2 Reg",
+                 "gm": "GM regularization"}[method],
+                f"{result.test_accuracy:.3f}",
+                f"{result.train_accuracy:.3f}",
+                f"{reference.get(method, float('nan')):.3f}",
+            ]
+        )
+    return format_table(
+        ["Method", "test acc", "train acc", "paper"], rows
+    )
+
+
+def format_mixture_rows(
+    rows: Sequence[Tuple[str, List[float], List[float]]],
+    paper: Optional[Dict[str, Tuple[List[float], List[float]]]] = None,
+) -> str:
+    """Reproduced Table IV/V layer rows."""
+    out_rows = []
+    for name, pi, lam in rows:
+        pi_s = "[" + ", ".join(f"{p:.3f}" for p in pi) + "]"
+        lam_s = "[" + ", ".join(f"{v:.3f}" for v in lam) + "]"
+        ref = ""
+        if paper and name in paper:
+            rpi, rlam = paper[name]
+            ref = f"paper pi={rpi} lam={rlam}"
+        out_rows.append([name, pi_s, lam_s, ref])
+    return format_table(["Layer", "pi", "lambda", "reference"], out_rows)
+
+
+def format_timing_curves(curves) -> str:
+    """Fig 5/6/7 endpoint summary: total time, speedup, accuracy."""
+    slowest = max(c.total_seconds for c in curves)
+    rows = [
+        [
+            c.label,
+            f"{c.total_seconds:.2f}s",
+            f"{slowest / max(c.total_seconds, 1e-12):.2f}x",
+            f"{c.test_accuracy:.3f}",
+        ]
+        for c in curves
+    ]
+    return format_table(["Setting", "total time", "speedup", "test acc"], rows)
+
+
+def format_series(
+    label: str, xs: Sequence[object], ys: Sequence[float], fmt: str = ".3f"
+) -> str:
+    """One named x/y series (the text analogue of a figure line)."""
+    pairs = ", ".join(f"{x}:{y:{fmt}}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

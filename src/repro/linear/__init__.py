@@ -1,0 +1,34 @@
+"""Shallow models: logistic regression, metrics and model selection."""
+
+from .logistic import LogisticRegression, sigmoid
+from .softmax_regression import SoftmaxRegression
+from .metrics import (
+    accuracy,
+    confusion_counts,
+    error_rate,
+    mean_and_standard_error,
+    precision_recall_f1,
+)
+from .model_selection import (
+    GridSearchResult,
+    cross_val_accuracy,
+    grid_search,
+    stratified_k_fold,
+    stratified_train_test_split,
+)
+
+__all__ = [
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "sigmoid",
+    "accuracy",
+    "error_rate",
+    "mean_and_standard_error",
+    "confusion_counts",
+    "precision_recall_f1",
+    "stratified_train_test_split",
+    "stratified_k_fold",
+    "cross_val_accuracy",
+    "grid_search",
+    "GridSearchResult",
+]

@@ -1,0 +1,82 @@
+"""Evaluation metrics used in the paper's experiments.
+
+The paper's single evaluation metric is classification **accuracy**
+(Section V-A), reported in Table VII as a mean and standard error over
+five stratified subsamples.  A few companion metrics are provided for
+the examples and the healthcare pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "mean_and_standard_error",
+    "confusion_counts",
+    "precision_recall_f1",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions (the paper's metric)."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def mean_and_standard_error(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and standard error of the mean, as reported in Table VII.
+
+    The paper reports "average and standard errors of accuracies" over 5
+    subsamples; we use the sample standard deviation (ddof=1) divided by
+    ``sqrt(n)``.  A single value has standard error 0.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    return mean, float(arr.std(ddof=1) / math.sqrt(arr.size))
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[int, int, int, int]:
+    """Binary confusion counts ``(tp, fp, fn, tn)`` with positive class 1."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    return tp, fp, fn, tn
+
+
+def precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[float, float, float]:
+    """Precision, recall and F1 for the positive class (0 when undefined)."""
+    tp, fp, fn, _tn = confusion_counts(y_true, y_pred)
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def _aligned(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"label arrays disagree on shape: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("label arrays must be non-empty")
+    return y_true, y_pred

@@ -1,0 +1,177 @@
+"""Model-selection utilities for the small-dataset study (Table VII).
+
+The paper's protocol for each small dataset (Section V-C):
+
+1. Draw 5 subsamples via **stratified sampling** with an 80-20
+   train/test split.
+2. For each regularizer, pick its strength (and shape parameters) by
+   **cross-validation** on the training split.
+3. Report the mean and standard error of test accuracy over the 5
+   subsamples.
+
+This module provides the stratified splitters, k-fold iterator and a
+small grid-search driver that the experiment runners build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import accuracy
+
+__all__ = [
+    "stratified_train_test_split",
+    "stratified_k_fold",
+    "cross_val_accuracy",
+    "GridSearchResult",
+    "grid_search",
+]
+
+
+def stratified_train_test_split(
+    y: np.ndarray,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Index split preserving the class proportions of ``y``.
+
+    Parameters
+    ----------
+    y:
+        Integer class labels, shape ``(N,)``.
+    test_fraction:
+        Fraction of each class assigned to the test split (paper: 0.2).
+    rng:
+        Seeded generator; different seeds give the paper's 5 subsamples.
+
+    Returns
+    -------
+    (train_idx, test_idx):
+        Disjoint, exhaustive index arrays.  Every class keeps at least
+        one sample on each side whenever it has two or more samples.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    y = np.asarray(y).reshape(-1)
+    if y.size < 2:
+        raise ValueError("need at least two samples to split")
+    train_parts: List[np.ndarray] = []
+    test_parts: List[np.ndarray] = []
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        idx = rng.permutation(idx)
+        n_test = int(round(test_fraction * idx.size))
+        if idx.size >= 2:
+            n_test = min(max(n_test, 1), idx.size - 1)
+        else:
+            n_test = 0
+        test_parts.append(idx[:n_test])
+        train_parts.append(idx[n_test:])
+    train_idx = rng.permutation(np.concatenate(train_parts))
+    test_idx = rng.permutation(np.concatenate(test_parts))
+    return train_idx, test_idx
+
+
+def stratified_k_fold(
+    y: np.ndarray,
+    n_folds: int,
+    rng: np.random.Generator,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, val_idx)`` pairs with per-class balancing.
+
+    Samples of each class are dealt round-robin into the folds after a
+    shuffle, so every fold's class proportions match the full set as
+    closely as integer counts allow.  When ``n_folds`` exceeds the
+    total per-class supply some folds end up empty; those are skipped
+    (fewer than ``n_folds`` pairs are yielded), keeping every sample
+    validated exactly once.
+    """
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    y = np.asarray(y).reshape(-1)
+    if y.size < n_folds:
+        raise ValueError(f"cannot make {n_folds} folds from {y.size} samples")
+    fold_members: List[List[int]] = [[] for _ in range(n_folds)]
+    for cls in np.unique(y):
+        idx = rng.permutation(np.flatnonzero(y == cls))
+        for position, sample in enumerate(idx):
+            fold_members[position % n_folds].append(int(sample))
+    all_idx = np.arange(y.size)
+    for members in fold_members:
+        if not members:
+            continue
+        val_idx = np.asarray(sorted(members), dtype=np.int64)
+        mask = np.ones(y.size, dtype=bool)
+        mask[val_idx] = False
+        yield all_idx[mask], val_idx
+
+
+def cross_val_accuracy(
+    x: np.ndarray,
+    y: np.ndarray,
+    fit_predict: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    n_folds: int,
+    rng: np.random.Generator,
+) -> float:
+    """Mean validation accuracy over stratified folds.
+
+    ``fit_predict(x_train, y_train, x_val)`` must train a fresh model and
+    return predictions for ``x_val``.
+    """
+    scores = []
+    for train_idx, val_idx in stratified_k_fold(y, n_folds, rng):
+        preds = fit_predict(x[train_idx], y[train_idx], x[val_idx])
+        scores.append(accuracy(y[val_idx], preds))
+    return float(np.mean(scores))
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of :func:`grid_search`."""
+
+    best_params: Dict[str, object]
+    best_score: float
+    all_scores: List[Tuple[Dict[str, object], float]]
+
+
+def grid_search(
+    x: np.ndarray,
+    y: np.ndarray,
+    param_grid: Sequence[Dict[str, object]],
+    fit_predict_factory: Callable[
+        [Dict[str, object]], Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    ],
+    n_folds: int,
+    rng_seed: int,
+) -> GridSearchResult:
+    """Pick the best hyper-parameter dict by cross-validated accuracy.
+
+    Parameters
+    ----------
+    param_grid:
+        Explicit list of candidate settings (the paper's grids are small
+        enough to enumerate).
+    fit_predict_factory:
+        Maps a candidate setting to a ``fit_predict`` callable for
+        :func:`cross_val_accuracy`.  Using a factory keeps model
+        construction (and its RNG seeding) under the caller's control.
+    rng_seed:
+        Every candidate is evaluated on the *same* folds, derived from
+        this seed, so the comparison is paired.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must be non-empty")
+    results: List[Tuple[Dict[str, object], float]] = []
+    for params in param_grid:
+        rng = np.random.default_rng(rng_seed)
+        score = cross_val_accuracy(
+            x, y, fit_predict_factory(params), n_folds=n_folds, rng=rng
+        )
+        results.append((params, score))
+    best_params, best_score = max(results, key=lambda item: item[1])
+    return GridSearchResult(
+        best_params=best_params, best_score=best_score, all_scores=results
+    )

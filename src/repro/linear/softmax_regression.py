@@ -1,0 +1,105 @@
+"""Multi-class (softmax) regression with pluggable regularization.
+
+Generalizes :class:`~repro.linear.logistic.LogisticRegression` to K
+classes, completing the shallow-model family: the GM tool attaches to
+the flattened weight matrix exactly as it does to a deep layer's
+kernel, so the same adaptive regularization drives multi-class tabular
+tasks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.regularizers import Regularizer
+from ..nn.layers.loss import softmax
+from ..optim.trainer import Parameter
+
+__all__ = ["SoftmaxRegression"]
+
+
+class SoftmaxRegression:
+    """Linear K-class classifier trained with softmax cross-entropy.
+
+    Parameters
+    ----------
+    n_features, n_classes:
+        Input width and number of classes (``n_classes >= 2``).
+    regularizer:
+        Penalty on the weight matrix (biases stay unregularized).
+    weight_init_std:
+        Std of the Gaussian weight init (default matches the paper's
+        shallow-model precision of 100).
+    rng:
+        Seeded generator.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        regularizer: Optional[Regularizer] = None,
+        weight_init_std: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        rng = rng or np.random.default_rng()
+        self.n_features = int(n_features)
+        self.n_classes = int(n_classes)
+        self.weights = rng.normal(
+            0.0, weight_init_std, size=(n_features, n_classes)
+        )
+        self.bias = np.zeros(n_classes)
+        self.regularizer = regularizer
+        self._params = [
+            Parameter("weights", self.weights, regularizer),
+            Parameter("bias", self.bias, None),
+        ]
+
+    # ------------------------------------------------------------------
+    # TrainableModel interface
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        return self._params
+
+    def loss_and_gradients(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, List[np.ndarray]]:
+        """Mean cross-entropy and its gradients."""
+        self._check_input(x)
+        n = x.shape[0]
+        if y.shape != (n,):
+            raise ValueError(f"labels must have shape ({n},), got {y.shape}")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError(
+                f"labels out of range [0, {self.n_classes}): "
+                f"[{y.min()}, {y.max()}]"
+            )
+        probs = softmax(x @ self.weights + self.bias)
+        nll = -np.log(probs[np.arange(n), y] + 1e-12)
+        loss = float(nll.mean())
+        grad_logits = probs
+        grad_logits[np.arange(n), y] -= 1.0
+        grad_logits /= n
+        return loss, [x.T @ grad_logits, grad_logits.sum(axis=0)]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax class predictions."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability matrix ``(n, n_classes)``."""
+        self._check_input(x)
+        return softmax(x @ self.weights + self.bias)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected input of shape (n, {self.n_features}), got {x.shape}"
+            )

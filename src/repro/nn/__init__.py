@@ -1,0 +1,72 @@
+"""From-scratch layer-based deep-learning framework (the SINGA substitute).
+
+Provides the layers, networks and model architectures the paper's deep
+experiments need: conv/pool/LRN/BN/dense layers with hand-derived
+backward passes (all verified against finite differences in the test
+suite), a :class:`Network` container implementing the trainer's
+``TrainableModel`` protocol, the Alex-CIFAR-10 and ResNet-20 models of
+Table III, and the ResNet pad-crop/flip augmentation.
+"""
+
+from .augment import make_augmenter, pad_crop_flip
+from .checkpoint import (
+    load_network_state_dict,
+    load_network_weights,
+    network_state_dict,
+    save_network,
+)
+from .gradcheck import check_layer_gradients, max_relative_error, numerical_gradient
+from .layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sigmoid,
+    SoftmaxCrossEntropy,
+    Tanh,
+    softmax,
+)
+from .models import ALEX_WEIGHT_INIT_STD, alex_cifar10, resnet20, resnet_cifar
+from .network import Network, RegularizerFactory
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Dropout",
+    "Conv2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm2D",
+    "LocalResponseNorm",
+    "ResidualBlock",
+    "SoftmaxCrossEntropy",
+    "softmax",
+    "Network",
+    "RegularizerFactory",
+    "network_state_dict",
+    "load_network_state_dict",
+    "save_network",
+    "load_network_weights",
+    "alex_cifar10",
+    "ALEX_WEIGHT_INIT_STD",
+    "resnet_cifar",
+    "resnet20",
+    "pad_crop_flip",
+    "make_augmenter",
+    "numerical_gradient",
+    "check_layer_gradients",
+    "max_relative_error",
+]

@@ -1,0 +1,44 @@
+"""Data augmentation for the ResNet experiments.
+
+The paper performs data augmentation for ResNet but not for
+Alex-CIFAR-10 (Section V-A).  The standard CIFAR recipe it follows (He
+et al., 2016) is: pad 4 pixels on each side, take a random crop of the
+original size, and flip horizontally with probability 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pad_crop_flip", "make_augmenter"]
+
+
+def pad_crop_flip(
+    batch: np.ndarray,
+    rng: np.random.Generator,
+    pad: int = 4,
+    flip_probability: float = 0.5,
+) -> np.ndarray:
+    """Randomly pad-crop and horizontally flip a ``(N, C, H, W)`` batch."""
+    if batch.ndim != 4:
+        raise ValueError(f"batch must be (N, C, H, W), got {batch.shape}")
+    if pad < 0:
+        raise ValueError(f"pad must be >= 0, got {pad}")
+    n, _, h, w = batch.shape
+    padded = np.pad(batch, [(0, 0), (0, 0), (pad, pad), (pad, pad)], mode="constant")
+    out = np.empty_like(batch)
+    offsets_y = rng.integers(0, 2 * pad + 1, size=n)
+    offsets_x = rng.integers(0, 2 * pad + 1, size=n)
+    flips = rng.random(n) < flip_probability
+    for i in range(n):
+        crop = padded[i, :, offsets_y[i] : offsets_y[i] + h,
+                      offsets_x[i] : offsets_x[i] + w]
+        out[i] = crop[:, :, ::-1] if flips[i] else crop
+    return out
+
+
+def make_augmenter(pad: int = 4, flip_probability: float = 0.5):
+    """An ``(batch, rng) -> batch`` callable for ``Trainer.fit(augment=...)``."""
+    def augment(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return pad_crop_flip(batch, rng, pad=pad, flip_probability=flip_probability)
+    return augment

@@ -1,0 +1,67 @@
+"""Save/load network weights as ``.npz`` archives.
+
+Parameters are addressed by their qualified names (``conv1/weight``),
+so a checkpoint is robust to adding or reordering *unparameterized*
+layers but intentionally strict about parameter shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .network import Network
+
+__all__ = ["network_state_dict", "load_network_state_dict",
+           "save_network", "load_network_weights"]
+
+
+def network_state_dict(network: Network) -> Dict[str, np.ndarray]:
+    """``{qualified_name: array copy}`` of all trainable parameters."""
+    return {p.name: p.value.copy() for p in network.parameters()}
+
+
+def load_network_state_dict(
+    network: Network, state: Dict[str, np.ndarray], strict: bool = True
+) -> None:
+    """Copy arrays from ``state`` into the network's parameters in place.
+
+    Parameters
+    ----------
+    strict:
+        When True (default), missing or extra names raise; when False,
+        only names present on both sides are loaded.
+    """
+    own = {p.name: p.value for p in network.parameters()}
+    missing = sorted(set(own) - set(state))
+    extra = sorted(set(state) - set(own))
+    if strict and (missing or extra):
+        raise KeyError(
+            f"state dict mismatch: missing={missing}, unexpected={extra}"
+        )
+    for name, value in state.items():
+        if name not in own:
+            continue
+        target = own[name]
+        value = np.asarray(value)
+        if value.shape != target.shape:
+            raise ValueError(
+                f"{name}: shape {value.shape} does not match {target.shape}"
+            )
+        target[...] = value
+
+
+def save_network(network: Network, path: str) -> None:
+    """Write all parameters to ``path`` (.npz).
+
+    Qualified names contain ``/``, which ``np.savez`` keys handle fine.
+    """
+    np.savez(path, **network_state_dict(network))
+
+
+def load_network_weights(network: Network, path: str, strict: bool = True) -> None:
+    """Load parameters written by :func:`save_network` into ``network``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    load_network_state_dict(network, state, strict=strict)

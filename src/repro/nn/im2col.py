@@ -1,0 +1,76 @@
+"""im2col / col2im utilities for convolution and pooling.
+
+The convolution and pooling layers lower their sliding-window
+computation to matrix multiplication via the classic im2col transform
+(as Caffe and SINGA do on CPU).  ``im2col`` unfolds ``(N, C, H, W)``
+input into a ``(N * out_h * out_w, C * kh * kw)`` patch matrix;
+``col2im`` scatters patch-space gradients back, summing overlaps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a convolution/pooling window."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"window (kernel={kernel}, stride={stride}, pad={pad}) "
+            f"does not fit input of size {size}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold sliding windows into rows.
+
+    Returns
+    -------
+    (col, out_h, out_w):
+        ``col`` has shape ``(N * out_h * out_w, C * kh * kw)``; rows
+        iterate images first, then output positions row-major.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    img = np.pad(x, [(0, 0), (0, 0), (pad, pad), (pad, pad)], mode="constant")
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for dy in range(kh):
+        y_end = dy + stride * out_h
+        for dx in range(kw):
+            x_end = dx + stride * out_w
+            col[:, :, dy, dx, :, :] = img[:, :, dy:y_end:stride, dx:x_end:stride]
+    col = col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    return col, out_h, out_w
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` for gradients (overlaps are summed)."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    for dy in range(kh):
+        y_end = dy + stride * out_h
+        for dx in range(kw):
+            x_end = dx + stride * out_w
+            img[:, :, dy:y_end:stride, dx:x_end:stride] += col6[:, :, dy, dx, :, :]
+    if pad == 0:
+        return img
+    return img[:, :, pad : pad + h, pad : pad + w]

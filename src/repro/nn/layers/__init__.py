@@ -1,0 +1,31 @@
+"""Layer zoo of the from-scratch deep-learning framework."""
+
+from .activations import ReLU, Sigmoid, Tanh
+from .base import Layer
+from .conv import Conv2D
+from .dense import Dense
+from .dropout import Dropout
+from .flatten import Flatten
+from .loss import SoftmaxCrossEntropy, softmax
+from .norm import BatchNorm2D, LocalResponseNorm
+from .pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .residual import ResidualBlock
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Dropout",
+    "Conv2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm2D",
+    "LocalResponseNorm",
+    "ResidualBlock",
+    "SoftmaxCrossEntropy",
+    "softmax",
+]

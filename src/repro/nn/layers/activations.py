@@ -1,0 +1,69 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["ReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit, the paper's activation throughout."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        mask = x > 0.0
+        self._mask = mask if training else None
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Sigmoid(Layer):
+    """Logistic activation (provided for completeness / examples)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ez = np.exp(x[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        out = np.tanh(x)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        return grad_out * (1.0 - self._out * self._out)

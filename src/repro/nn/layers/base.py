@@ -1,0 +1,79 @@
+"""Layer base class of the from-scratch deep-learning framework.
+
+The paper integrates its regularization tool with Apache SINGA, a
+layer-based deep-learning platform.  This package is the offline
+substitute: a small but complete layer framework with explicit
+forward/backward passes, in the style of SINGA/Caffe.
+
+Conventions shared by every layer:
+
+- activations are ``(N, ...)`` numpy arrays with the batch first;
+  convolutional tensors use ``(N, C, H, W)``;
+- ``forward(x, training)`` returns the output and caches whatever the
+  backward pass needs;
+- ``backward(grad_out)`` consumes the gradient w.r.t. the output and
+  returns the gradient w.r.t. the input, accumulating parameter
+  gradients into ``grads`` (aligned with ``params``);
+- parameters are exposed as named numpy arrays so the trainer can
+  attach per-layer regularizers to the *weights* and leave biases and
+  normalization scales unregularized, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Layer"]
+
+
+class Layer:
+    """Base class: a (possibly parameterless) differentiable transform."""
+
+    def __init__(self, name: str):
+        self.name = name
+        # Parallel dicts: parameter arrays and their gradient accumulators.
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Compute the layer output; cache state needed by backward."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the input; fills ``self.grads`` for parameters."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def add_param(self, key: str, value: np.ndarray) -> np.ndarray:
+        """Register a trainable array and its zeroed gradient buffer."""
+        value = np.ascontiguousarray(value, dtype=np.float64)
+        self.params[key] = value
+        self.grads[key] = np.zeros_like(value)
+        return value
+
+    def parameter_items(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        """``(qualified_name, value, grad)`` triples for the trainer."""
+        return [
+            (f"{self.name}/{key}", self.params[key], self.grads[key])
+            for key in self.params
+        ]
+
+    @property
+    def n_parameters(self) -> int:
+        """Total scalar parameters in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def regularizable_keys(self) -> List[str]:
+        """Parameter keys that should carry a regularizer.
+
+        By default only ``"weight"`` — biases, batch-norm scales and
+        offsets stay unregularized, matching standard weight-decay
+        practice and the paper's per-layer weight GMs.
+        """
+        return [key for key in self.params if key == "weight"]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,105 @@
+"""2-D convolution layer (im2col-based)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..im2col import col2im, im2col
+from .base import Layer
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """Cross-correlation with learned filters, ``(N, C, H, W)`` layout.
+
+    Parameters
+    ----------
+    name:
+        Layer name.
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel extent (the paper uses 5x5 and 3x3).
+    stride, pad:
+        Stride and symmetric zero padding.
+    weight_init_std:
+        Std of the Gaussian weight init.  ``None`` = He initialization
+        ``sqrt(2 / (in_channels * k * k))``, the scheme the paper's
+        ResNet uses ([30] in the paper); the value actually used is
+        exposed as :attr:`weight_init_std` for GM calibration.
+    rng:
+        Seeded generator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        weight_init_std: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ValueError("channels, kernel_size and stride must be >= 1")
+        if pad < 0:
+            raise ValueError(f"pad must be >= 0, got {pad}")
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        if weight_init_std is None:
+            weight_init_std = float(np.sqrt(2.0 / fan_in))
+        self.weight_init_std = float(weight_init_std)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.pad = int(pad)
+        self.weight = self.add_param(
+            "weight",
+            rng.normal(
+                0.0,
+                self.weight_init_std,
+                size=(out_channels, in_channels, kernel_size, kernel_size),
+            ),
+        )
+        self.bias = self.add_param("bias", np.zeros(out_channels))
+        self._col: Optional[np.ndarray] = None
+        self._input_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        k = self.kernel_size
+        col, out_h, out_w = im2col(x, k, k, self.stride, self.pad)
+        w_mat = self.weight.reshape(self.out_channels, -1).T  # (C*k*k, OC)
+        out = col @ w_mat + self.bias
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._col = col
+            self._input_shape = x.shape
+        else:
+            self._col = None
+            self._input_shape = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._col is None or self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        k = self.kernel_size
+        # (N, OC, OH, OW) -> (N*OH*OW, OC) aligned with im2col rows.
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        self.grads["weight"][...] = (
+            (self._col.T @ grad_mat).T.reshape(self.weight.shape)
+        )
+        self.grads["bias"][...] = grad_mat.sum(axis=0)
+        grad_col = grad_mat @ self.weight.reshape(self.out_channels, -1)
+        return col2im(grad_col, self._input_shape, k, k, self.stride, self.pad)

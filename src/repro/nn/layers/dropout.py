@@ -1,0 +1,61 @@
+"""Inverted dropout (extension baseline).
+
+Not part of the paper's comparison set, but the most common *implicit*
+regularizer in deep learning and a natural extension baseline for the
+Table VI study.  Uses the inverted formulation: activations are scaled
+by ``1 / keep_prob`` at training time so inference is a plain identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Randomly zero activations with probability ``drop_prob``.
+
+    Parameters
+    ----------
+    name:
+        Layer name.
+    drop_prob:
+        Probability of zeroing each activation during training.
+    rng:
+        Seeded generator; required for reproducible training runs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        drop_prob: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name)
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.drop_prob = float(drop_prob)
+        self._rng = rng or np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        if not training or self.drop_prob == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.drop_prob
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            # Training forward ran with drop_prob == 0 (identity).
+            if self.drop_prob == 0.0:
+                return grad_out
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        return grad_out * self._mask

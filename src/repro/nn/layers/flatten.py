@@ -1,0 +1,28 @@
+"""Shape adapters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """Collapse ``(N, ...)`` to ``(N, prod(...))`` before a dense head."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._input_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        self._input_shape = x.shape if training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        return grad_out.reshape(self._input_shape)

@@ -1,0 +1,58 @@
+"""Softmax cross-entropy loss head.
+
+All the paper's deep models end in a "10-way softmax" (Table III); the
+loss is the mean negative log likelihood, i.e. the data-misfit term of
+Equation (1).  Softmax and cross-entropy are fused for the standard
+numerically stable gradient ``(softmax(z) - onehot(y)) / N``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + mean cross-entropy over integer class labels."""
+
+    def loss_and_gradient(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Mean NLL and its gradient w.r.t. the logits.
+
+        Parameters
+        ----------
+        logits:
+            ``(N, n_classes)`` unnormalized scores.
+        labels:
+            ``(N,)`` integer class indices.
+        """
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, K), got {logits.shape}")
+        n = logits.shape[0]
+        if labels.shape != (n,):
+            raise ValueError(
+                f"labels must be shape ({n},), got {labels.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError(
+                f"labels out of range [0, {logits.shape[1]}): "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        probs = softmax(logits)
+        nll = -np.log(probs[np.arange(n), labels] + 1e-12)
+        loss = float(nll.mean())
+        grad = probs
+        grad[np.arange(n), labels] -= 1.0
+        grad /= n
+        return loss, grad

@@ -1,0 +1,121 @@
+"""Max and average pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..im2col import col2im, im2col
+from .base import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class _Pool2D(Layer):
+    """Shared plumbing for window pooling over ``(N, C, H, W)``."""
+
+    def __init__(self, name: str, window: int, stride: Optional[int] = None, pad: int = 0):
+        super().__init__(name)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if pad < 0:
+            raise ValueError(f"pad must be >= 0, got {pad}")
+        self.window = int(window)
+        self.stride = int(stride) if stride is not None else int(window)
+        self.pad = int(pad)
+        self._cache: Optional[dict] = None
+
+    def _unfold(self, x: np.ndarray):
+        n, c, h, w = x.shape
+        k = self.window
+        col, out_h, out_w = im2col(x, k, k, self.stride, self.pad)
+        # Rows: (N*OH*OW, C*k*k) -> (N*OH*OW*C, k*k), pooling per channel;
+        # im2col rows are laid out [c][kh][kw], so a plain reshape splits
+        # channels correctly.
+        col = col.reshape(-1, k * k)
+        return col, out_h, out_w, (n, c, h, w)
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling (``MaxPooling`` rows of Table III)."""
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        col, out_h, out_w, shape = self._unfold(x)
+        n, c, _, _ = shape
+        argmax = col.argmax(axis=1)
+        out = col[np.arange(col.shape[0]), argmax]
+        out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = {
+                "argmax": argmax,
+                "col_shape": col.shape,
+                "input_shape": shape,
+                "out_hw": (out_h, out_w),
+            }
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        cache = self._cache
+        n, c, _, _ = cache["input_shape"]
+        grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(-1)  # rows*C
+        grad_col = np.zeros(cache["col_shape"], dtype=grad_out.dtype)
+        grad_col[np.arange(grad_col.shape[0]), cache["argmax"]] = grad_rows
+        k = self.window
+        grad_col = grad_col.reshape(-1, c * k * k)
+        return col2im(
+            grad_col, cache["input_shape"], k, k, self.stride, self.pad
+        )
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling (``AvgPooling`` rows of Table III)."""
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        col, out_h, out_w, shape = self._unfold(x)
+        n, c, _, _ = shape
+        out = col.mean(axis=1)
+        out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = {"col_shape": col.shape, "input_shape": shape}
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        cache = self._cache
+        n, c, _, _ = cache["input_shape"]
+        k = self.window
+        grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(-1)
+        grad_col = np.repeat(grad_rows[:, None], k * k, axis=1) / (k * k)
+        grad_col = grad_col.reshape(-1, c * k * k)
+        return col2im(
+            grad_col, cache["input_shape"], k, k, self.stride, self.pad
+        )
+
+
+class GlobalAvgPool2D(Layer):
+    """Spatial mean over the whole feature map (ResNet's final pooling)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._input_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected (N, C, H, W), got {x.shape}")
+        self._input_shape = x.shape if training else None
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before training forward")
+        n, c, h, w = self._input_shape
+        grad = grad_out[:, :, None, None] / (h * w)
+        return np.broadcast_to(grad, (n, c, h, w)).copy()

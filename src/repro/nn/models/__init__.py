@@ -1,0 +1,6 @@
+"""Model architectures from Table III of the paper."""
+
+from .alexnet import ALEX_WEIGHT_INIT_STD, alex_cifar10
+from .resnet import resnet20, resnet_cifar
+
+__all__ = ["alex_cifar10", "ALEX_WEIGHT_INIT_STD", "resnet_cifar", "resnet20"]

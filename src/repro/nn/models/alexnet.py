@@ -1,0 +1,96 @@
+"""Alex-CIFAR-10: the small AlexNet-style CNN of Table III.
+
+Architecture (paper Table III / the classic Caffe CIFAR-10 recipe):
+
+1. 5x5 conv, 32 filters -> MaxPool -> ReLU -> LRN
+2. 5x5 conv, 32 filters -> ReLU -> AvgPool -> LRN
+3. 5x5 conv, 64 filters -> ReLU -> AvgPool
+4. 10-way fully-connected softmax
+
+With 32x32x3 inputs and 2x2/stride-2 pooling, the weight-only parameter
+count is 2400 + 25600 + 51200 + 10240 = 89440 — exactly the model-
+parameter dimension the paper reports, confirming it counts weights and
+not biases.
+
+All weights are initialized from a zero-mean Gaussian with std 0.1
+(precision 100), matching Section V-E ("the precisions of initialized
+model parameter is 100"), which calibrates the GM starting precisions
+to ``min = 10``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+)
+from ..network import Network
+
+__all__ = ["alex_cifar10", "ALEX_WEIGHT_INIT_STD"]
+
+# Section V-E: non-ResNet models initialize weights with precision 100.
+ALEX_WEIGHT_INIT_STD = 0.1
+
+
+def alex_cifar10(
+    image_size: int = 32,
+    in_channels: int = 3,
+    n_classes: int = 10,
+    width_scale: float = 1.0,
+    seed: Optional[int] = None,
+) -> Network:
+    """Build the Alex-CIFAR-10 network.
+
+    Parameters
+    ----------
+    image_size:
+        Input height = width; must be divisible by 8 (three stride-2
+        pools).  The paper uses 32; the laptop-scale benches use 16.
+    in_channels, n_classes:
+        Input channels and output classes (paper: 3 and 10).
+    width_scale:
+        Multiplier on the filter counts (1.0 = the paper's 32/32/64),
+        letting benchmarks run a narrower but structurally identical
+        model.
+    seed:
+        Weight-init seed for reproducibility.
+    """
+    if image_size % 8 != 0:
+        raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+    if width_scale <= 0.0:
+        raise ValueError(f"width_scale must be positive, got {width_scale}")
+    rng = np.random.default_rng(seed)
+    c1 = max(1, int(round(32 * width_scale)))
+    c2 = max(1, int(round(32 * width_scale)))
+    c3 = max(1, int(round(64 * width_scale)))
+    final_spatial = image_size // 8
+
+    layers = [
+        Conv2D("conv1", in_channels, c1, 5, stride=1, pad=2,
+               weight_init_std=ALEX_WEIGHT_INIT_STD, rng=rng),
+        MaxPool2D("pool1", window=2, stride=2),
+        ReLU("relu1"),
+        LocalResponseNorm("lrn1"),
+        Conv2D("conv2", c1, c2, 5, stride=1, pad=2,
+               weight_init_std=ALEX_WEIGHT_INIT_STD, rng=rng),
+        ReLU("relu2"),
+        AvgPool2D("pool2", window=2, stride=2),
+        LocalResponseNorm("lrn2"),
+        Conv2D("conv3", c2, c3, 5, stride=1, pad=2,
+               weight_init_std=ALEX_WEIGHT_INIT_STD, rng=rng),
+        ReLU("relu3"),
+        AvgPool2D("pool3", window=2, stride=2),
+        Flatten("flatten"),
+        Dense("dense", c3 * final_spatial * final_spatial, n_classes,
+              weight_init_std=ALEX_WEIGHT_INIT_STD, rng=rng),
+    ]
+    return Network(layers, name="Alex-CIFAR-10")

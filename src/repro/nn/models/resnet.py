@@ -1,0 +1,89 @@
+"""The 20-layer CIFAR ResNet of Table III (He et al., 2016).
+
+Structure for ``n = 3`` (the paper's setting):
+
+- 3x3 conv, 16 filters + BN + ReLU;
+- three stages of ``n`` residual blocks with 16, 32, 64 filters; the
+  first block of stages 2 and 3 downsamples with stride 2 and a 3x3
+  projection shortcut (the ``br2`` convolutions of the paper's Table V
+  layer names);
+- global average pooling and a 10-way softmax (named ``ip5`` in Table
+  V; we keep that name for the dense layer so the reproduced table
+  lines up with the paper's).
+
+In total ``6n + 2 = 20`` weighted conv/dense layers.  Weights use He
+initialization (paper reference [30]); per Section V-E the GM base
+precision for each layer is one tenth of that layer's init precision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    ReLU,
+    ResidualBlock,
+)
+from ..layers.base import Layer
+from ..network import Network
+
+__all__ = ["resnet_cifar", "resnet20"]
+
+
+def resnet_cifar(
+    n_blocks_per_stage: int = 3,
+    base_width: int = 16,
+    in_channels: int = 3,
+    n_classes: int = 10,
+    seed: Optional[int] = None,
+) -> Network:
+    """Build a CIFAR ResNet with ``6n + 2`` weighted layers.
+
+    Parameters
+    ----------
+    n_blocks_per_stage:
+        ``n`` of He et al.; 3 gives the paper's 20-layer network.
+    base_width:
+        Filters in the first stage (paper: 16; stages use w, 2w, 4w).
+    in_channels, n_classes:
+        Input channels and classes.
+    seed:
+        Weight-init seed.
+    """
+    if n_blocks_per_stage < 1:
+        raise ValueError(f"n_blocks_per_stage must be >= 1, got {n_blocks_per_stage}")
+    if base_width < 1:
+        raise ValueError(f"base_width must be >= 1, got {base_width}")
+    rng = np.random.default_rng(seed)
+    widths = [base_width, 2 * base_width, 4 * base_width]
+
+    layers: List[Layer] = [
+        Conv2D("conv1", in_channels, widths[0], 3, stride=1, pad=1, rng=rng),
+        BatchNorm2D("bn1", widths[0]),
+        ReLU("relu1"),
+    ]
+    in_c = widths[0]
+    for stage, width in enumerate(widths, start=2):
+        for block in range(n_blocks_per_stage):
+            stride = 2 if (stage > 2 and block == 0) else 1
+            name = f"{stage}{chr(ord('a') + block)}"
+            layers.append(
+                ResidualBlock(name, in_c, width, stride=stride, rng=rng)
+            )
+            in_c = width
+    layers.append(GlobalAvgPool2D("gap"))
+    # "ip5" is the dense layer's name in the paper's Table V.
+    layers.append(Dense("ip5", in_c, n_classes, rng=rng))
+    depth = 6 * n_blocks_per_stage + 2
+    return Network(layers, name=f"ResNet-{depth}")
+
+
+def resnet20(seed: Optional[int] = None, **kwargs) -> Network:
+    """The paper's twenty-layer ResNet (``n = 3``)."""
+    return resnet_cifar(n_blocks_per_stage=3, seed=seed, **kwargs)

@@ -1,0 +1,89 @@
+"""Learning-rate schedules.
+
+The paper uses constant learning rates for its headline numbers but the
+ResNet recipe it follows (He et al., 2016) decays the rate at fixed
+epochs; both are provided so the deep-learning experiments can reproduce
+either behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+__all__ = ["LRSchedule", "ConstantLR", "StepDecayLR", "ExponentialDecayLR"]
+
+
+class LRSchedule(abc.ABC):
+    """Maps an epoch index to a learning rate."""
+
+    @abc.abstractmethod
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch`` (0-based)."""
+
+
+class ConstantLR(LRSchedule):
+    """A fixed learning rate, the paper's default."""
+
+    def __init__(self, lr: float):
+        if lr <= 0.0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def lr_at(self, epoch: int) -> float:
+        _check_epoch(epoch)
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """Piecewise-constant decay at given epoch milestones.
+
+    Parameters
+    ----------
+    base_lr:
+        Learning rate before the first milestone.
+    milestones:
+        Mapping from epoch index to the multiplicative factor applied
+        from that epoch on (e.g. ``{80: 0.1, 120: 0.1}`` for the ResNet
+        recipe: divide by 10 at epochs 80 and 120).
+    """
+
+    def __init__(self, base_lr: float, milestones: Dict[int, float]):
+        if base_lr <= 0.0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        for epoch, factor in milestones.items():
+            if epoch < 0:
+                raise ValueError(f"milestone epochs must be >= 0, got {epoch}")
+            if factor <= 0.0:
+                raise ValueError(f"milestone factors must be positive, got {factor}")
+        self.base_lr = float(base_lr)
+        self.milestones = dict(sorted(milestones.items()))
+
+    def lr_at(self, epoch: int) -> float:
+        _check_epoch(epoch)
+        lr = self.base_lr
+        for milestone, factor in self.milestones.items():
+            if epoch >= milestone:
+                lr *= factor
+        return lr
+
+
+class ExponentialDecayLR(LRSchedule):
+    """``lr = base_lr * decay**epoch``."""
+
+    def __init__(self, base_lr: float, decay: float):
+        if base_lr <= 0.0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.base_lr = float(base_lr)
+        self.decay = float(decay)
+
+    def lr_at(self, epoch: int) -> float:
+        _check_epoch(epoch)
+        return self.base_lr * self.decay**epoch
+
+
+def _check_epoch(epoch: int) -> None:
+    if epoch < 0:
+        raise ValueError(f"epoch must be >= 0, got {epoch}")

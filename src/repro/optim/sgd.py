@@ -1,0 +1,84 @@
+"""Stochastic Gradient Descent with momentum.
+
+The paper trains every model with SGD: plain SGD for logistic regression
+and SGD with momentum 0.9 for the deep models (Section V-A).  The
+optimizer here operates on *lists of parameter arrays* so the same code
+drives the single-vector logistic-regression model and the many-tensor
+neural networks; parameters are updated in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """SGD with (optional) classical momentum.
+
+    Update rule with momentum ``mu`` and learning rate ``L``::
+
+        v <- mu * v - L * grad
+        w <- w + v
+
+    With ``momentum=0`` this reduces to the vanilla rule used in
+    Algorithms 1/2 of the paper: ``w <- w - L * grad``.
+
+    Parameters
+    ----------
+    params:
+        Parameter arrays updated in place on :meth:`step`.
+    lr:
+        Learning rate ``L`` (paper: 0.001 for Alex-CIFAR-10, 0.1 for
+        ResNet, tuned per dataset for logistic regression).
+    momentum:
+        Momentum coefficient ``mu`` in [0, 1) (paper: 0.9 for CNNs).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float,
+        momentum: float = 0.0,
+    ):
+        if lr <= 0.0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self._params: List[np.ndarray] = list(params)
+        if not self._params:
+            raise ValueError("params must be non-empty")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: Optional[List[np.ndarray]] = None
+        if self.momentum > 0.0:
+            self._velocity = [np.zeros_like(p) for p in self._params]
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``params``."""
+        if len(grads) != len(self._params):
+            raise ValueError(
+                f"expected {len(self._params)} gradients, got {len(grads)}"
+            )
+        if self._velocity is None:
+            for p, g in zip(self._params, grads):
+                p -= self.lr * g
+        else:
+            for p, g, v in zip(self._params, grads, self._velocity):
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+
+    def set_lr(self, lr: float) -> None:
+        """Replace the learning rate (used by schedules)."""
+        if lr <= 0.0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        """The parameter arrays this optimizer updates (shared, not copies)."""
+        return self._params

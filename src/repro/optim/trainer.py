@@ -1,0 +1,281 @@
+"""Training loop implementing Algorithms 1 and 2 of the paper.
+
+The trainer interleaves SGD on the model parameters with the lightweight
+EM on the GM parameters.  Per mini-batch iteration the exact Algorithm 2
+ordering is followed:
+
+1. *E-step* (lazy): each adaptive regularizer refreshes its cached
+   ``g_reg`` (``Regularizer.prepare``).
+2. The data-misfit gradient ``g_ll`` is computed by the model and the
+   regularizer gradients are added (Equation (10)).  Because the models
+   report the *mean* per-sample loss while the MAP objective (Equation
+   (8)) counts the prior once against a likelihood summed over all ``N``
+   training samples, the regularizer gradient is scaled by ``1/N``.
+   This is the standard weight-decay normalization and is what makes
+   the paper's learned precisions (``lambda`` up to ~2000, Table IV)
+   compatible with its learning rates: the per-step decay is
+   ``lr * lambda / N``.
+3. *M-step* (lazy): the GM parameters are updated
+   (``Regularizer.update``).
+4. *SGD step*: the optimizer applies the combined gradient.
+
+The same loop trains logistic regression and the deep networks; the
+model only has to satisfy :class:`TrainableModel`.  The trainer records
+a per-epoch :class:`EpochRecord` (loss, wall-clock time, optional
+validation accuracy), which is what the timing figures (Figs. 5-7) are
+built from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..core.regularizers import Regularizer
+from .schedules import ConstantLR, LRSchedule
+from .sgd import SGD
+
+__all__ = ["Parameter", "TrainableModel", "EpochRecord", "TrainingHistory", "Trainer"]
+
+
+@dataclass
+class Parameter:
+    """One trainable tensor plus its (optional) regularizer.
+
+    Deep models attach a separate :class:`GMRegularizer` to each layer's
+    weights (per-layer GMs, Section V-B1) and leave biases and batch-norm
+    scales unregularized, mirroring standard weight-decay practice.
+    """
+
+    name: str
+    value: np.ndarray
+    regularizer: Optional[Regularizer] = None
+
+
+class TrainableModel(Protocol):
+    """What the trainer needs from a model."""
+
+    def parameters(self) -> Sequence[Parameter]:
+        """All trainable parameters, in a stable order."""
+        ...
+
+    def loss_and_gradients(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, List[np.ndarray]]:
+        """Data-misfit loss and its gradients aligned with ``parameters()``."""
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard label predictions for accuracy evaluation."""
+        ...
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch training telemetry."""
+
+    epoch: int
+    train_loss: float
+    elapsed_seconds: float
+    cumulative_seconds: float
+    val_accuracy: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of :class:`EpochRecord` plus convergence metadata."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+    converged_epoch: Optional[int] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock training time."""
+        return self.records[-1].cumulative_seconds if self.records else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss of the last epoch."""
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].train_loss
+
+    def losses(self) -> np.ndarray:
+        """Per-epoch training losses."""
+        return np.asarray([r.train_loss for r in self.records])
+
+    def cumulative_times(self) -> np.ndarray:
+        """Cumulative wall-clock seconds after each epoch (Fig. 5/7 series)."""
+        return np.asarray([r.cumulative_seconds for r in self.records])
+
+
+class Trainer:
+    """Mini-batch SGD + interleaved EM (Algorithms 1 and 2).
+
+    Parameters
+    ----------
+    model:
+        Any :class:`TrainableModel`.
+    lr:
+        Learning rate, or an :class:`LRSchedule` for decaying rates.
+    momentum:
+        SGD momentum (paper: 0.9 for CNNs, 0 for logistic regression).
+    batch_size:
+        Mini-batch size; the number of mini-batches per epoch is the
+        ``B`` of Algorithm 2.
+    shuffle:
+        Whether to reshuffle the training set every epoch.
+    convergence_tol:
+        When set, training stops early once the relative improvement of
+        the epoch loss falls below this tolerance for ``patience``
+        consecutive epochs ("while not converged" in Algorithms 1/2).
+    patience:
+        Consecutive low-improvement epochs required to declare
+        convergence.
+    """
+
+    def __init__(
+        self,
+        model: TrainableModel,
+        lr: float | LRSchedule = 0.1,
+        momentum: float = 0.0,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        convergence_tol: Optional[float] = None,
+        patience: int = 3,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.model = model
+        self.schedule = lr if isinstance(lr, LRSchedule) else ConstantLR(float(lr))
+        self.momentum = float(momentum)
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.convergence_tol = convergence_tol
+        self.patience = int(patience)
+        self._iteration = 0
+        self._reg_scale = 1.0
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        rng: Optional[np.random.Generator] = None,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        augment=None,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs (early-stops on convergence).
+
+        Parameters
+        ----------
+        x, y:
+            Training inputs and integer labels; first axis is samples.
+        epochs:
+            Maximum number of passes over the data.
+        rng:
+            Source of shuffling randomness (seeded for reproducibility).
+        x_val, y_val:
+            Optional held-out split evaluated after every epoch.
+        augment:
+            Optional callable ``(batch, rng) -> batch`` applied to each
+            mini-batch (the ResNet pad-crop/flip augmentation).
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        n = x.shape[0]
+        if y.shape[0] != n:
+            raise ValueError(f"x and y disagree on sample count: {n} vs {y.shape[0]}")
+        rng = rng or np.random.default_rng()
+        # Prior counted once vs. likelihood summed over N samples: with a
+        # mean per-sample loss the regularizer enters at weight 1/N.
+        self._reg_scale = 1.0 / float(n)
+        params = list(self.model.parameters())
+        optimizer = SGD(
+            [p.value for p in params], lr=self.schedule.lr_at(0), momentum=self.momentum
+        )
+
+        history = TrainingHistory()
+        previous_loss: Optional[float] = None
+        stall = 0
+        start = time.perf_counter()
+
+        for epoch in range(epochs):
+            optimizer.set_lr(self.schedule.lr_at(epoch))
+            epoch_start = time.perf_counter()
+            order = rng.permutation(n) if self.shuffle else np.arange(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for lo in range(0, n, self.batch_size):
+                batch = order[lo : lo + self.batch_size]
+                xb, yb = x[batch], y[batch]
+                if augment is not None:
+                    xb = augment(xb, rng)
+                epoch_loss += self._train_step(params, optimizer, xb, yb)
+                n_batches += 1
+            epoch_loss /= max(n_batches, 1)
+
+            for param in params:
+                if param.regularizer is not None:
+                    param.regularizer.epoch_end(epoch)
+
+            now = time.perf_counter()
+            val_acc = None
+            if x_val is not None and y_val is not None:
+                val_acc = float(np.mean(self.model.predict(x_val) == y_val))
+            history.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=epoch_loss,
+                    elapsed_seconds=now - epoch_start,
+                    cumulative_seconds=now - start,
+                    val_accuracy=val_acc,
+                )
+            )
+
+            if self.convergence_tol is not None and previous_loss is not None:
+                scale = max(abs(previous_loss), 1e-12)
+                if (previous_loss - epoch_loss) / scale < self.convergence_tol:
+                    stall += 1
+                else:
+                    stall = 0
+                if stall >= self.patience:
+                    history.converged_epoch = epoch
+                    break
+            previous_loss = epoch_loss
+        return history
+
+    # ------------------------------------------------------------------
+    def _train_step(
+        self,
+        params: List[Parameter],
+        optimizer: SGD,
+        xb: np.ndarray,
+        yb: np.ndarray,
+    ) -> float:
+        """One Algorithm-2 iteration; returns the batch data-misfit loss."""
+        it = self._iteration
+        # E-step (lines 4-7): refresh cached g_reg where due.
+        for param in params:
+            if param.regularizer is not None:
+                param.regularizer.prepare(param.value, it)
+        # Data-misfit gradient g_ll plus regularizer gradient (Eq. (10)).
+        loss, grads = self.model.loss_and_gradients(xb, yb)
+        for param, grad in zip(params, grads):
+            if param.regularizer is not None:
+                grad += self._reg_scale * param.regularizer.gradient(param.value)
+        # M-step (lines 9-11): update pi/lambda where due.
+        for param in params:
+            if param.regularizer is not None:
+                param.regularizer.update(param.value, it)
+        # SGD step (line 12).
+        optimizer.step(grads)
+        self._iteration = it + 1
+        return loss

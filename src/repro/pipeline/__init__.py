@@ -1,0 +1,50 @@
+"""GEMINI-style analytics pipeline substrate (Figure 1 of the paper).
+
+Lightweight but functional implementations of the stack stages the
+regularization tool plugs into: immutable versioned storage (Forkbase),
+rule-based cleaning (DICE), aggregation/summarization (epiC), cohort
+analysis (CohAna) and the orchestrating :class:`AnalyticsStack`.
+"""
+
+from .analytics import Aggregation, ColumnSummary, group_by, summarize
+from .cleaning import (
+    CleaningAction,
+    CleaningReport,
+    CleaningRule,
+    DataCleaner,
+    DeduplicateRows,
+    DropHighMissingColumns,
+    RangeRule,
+    VocabularyRule,
+)
+from .cohort import Cohort, CohortComparison, build_cohorts, compare_outcome
+from .stack import AnalyticsStack, StackResult
+from .visualization import bar_chart, density_plot, histogram, render_cohorts
+from .storage import Commit, VersionedStore
+
+__all__ = [
+    "VersionedStore",
+    "Commit",
+    "CleaningRule",
+    "CleaningAction",
+    "CleaningReport",
+    "DataCleaner",
+    "DeduplicateRows",
+    "RangeRule",
+    "VocabularyRule",
+    "DropHighMissingColumns",
+    "Aggregation",
+    "group_by",
+    "summarize",
+    "ColumnSummary",
+    "Cohort",
+    "build_cohorts",
+    "CohortComparison",
+    "compare_outcome",
+    "AnalyticsStack",
+    "StackResult",
+    "histogram",
+    "bar_chart",
+    "density_plot",
+    "render_cohorts",
+]

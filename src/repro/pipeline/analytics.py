@@ -1,0 +1,154 @@
+"""Aggregation and summarization (the epiC stage of the GEMINI stack).
+
+epiC is the paper's big-data processing system providing "aggregation
+and summarization" upstream of deep analytics.  This module provides a
+small group-by/aggregate engine over :class:`Table` plus per-column
+summary statistics, enough for the cohort example and for feature
+profiling before model training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.table import Column, ColumnType, Table
+
+__all__ = ["Aggregation", "group_by", "summarize", "ColumnSummary"]
+
+# value-array -> scalar
+_AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda v: float(np.nanmean(v)) if v.size else float("nan"),
+    "sum": lambda v: float(np.nansum(v)),
+    "min": lambda v: float(np.nanmin(v)) if v.size else float("nan"),
+    "max": lambda v: float(np.nanmax(v)) if v.size else float("nan"),
+    "count": lambda v: float(v.size),
+    "std": lambda v: float(np.nanstd(v)) if v.size else float("nan"),
+}
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One aggregate: ``func`` over ``column``, output named ``alias``."""
+
+    column: str
+    func: str
+    alias: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {self.func!r}; have {sorted(_AGGREGATORS)}"
+            )
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or f"{self.func}({self.column})"
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregations: Sequence[Aggregation],
+) -> Table:
+    """SQL-style ``GROUP BY keys`` with the given aggregates.
+
+    Key columns may be categorical or continuous; groups are ordered by
+    first appearance.  ``count`` may target any column; the numeric
+    aggregators require continuous columns.
+    """
+    if not keys:
+        raise ValueError("need at least one group-by key")
+    if not aggregations:
+        raise ValueError("need at least one aggregation")
+    key_columns = [table.column(k) for k in keys]
+    groups: Dict[Tuple, List[int]] = {}
+    order: List[Tuple] = []
+    for i in range(table.n_rows):
+        key = tuple(col.values[i] for col in key_columns)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+
+    out_columns: List[Column] = []
+    for pos, key_col in enumerate(key_columns):
+        values = [key[pos] for key in order]
+        if key_col.is_continuous:
+            out_columns.append(
+                Column(key_col.name, ColumnType.CONTINUOUS,
+                       np.asarray(values, dtype=np.float64))
+            )
+        else:
+            out_columns.append(
+                Column(key_col.name, ColumnType.CATEGORICAL,
+                       np.asarray(values, dtype=object))
+            )
+    for agg in aggregations:
+        source = table.column(agg.column)
+        if agg.func != "count" and not source.is_continuous:
+            raise TypeError(
+                f"aggregator {agg.func!r} needs a continuous column, "
+                f"{agg.column!r} is {source.ctype}"
+            )
+        fn = _AGGREGATORS[agg.func]
+        results = []
+        for key in order:
+            idx = np.asarray(groups[key], dtype=np.int64)
+            values = source.values[idx]
+            if agg.func == "count" and source.is_categorical:
+                values = np.asarray(
+                    [1.0 for v in values if v is not None], dtype=np.float64
+                )
+            results.append(fn(np.asarray(values, dtype=np.float64)))
+        out_columns.append(
+            Column(agg.output_name, ColumnType.CONTINUOUS,
+                   np.asarray(results, dtype=np.float64))
+        )
+    return Table(out_columns)
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Profile of one column, used for data-quality review."""
+
+    name: str
+    ctype: str
+    n_missing: int
+    n_distinct: int
+    mean: Optional[float] = None
+    std: Optional[float] = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+
+def summarize(table: Table) -> List[ColumnSummary]:
+    """Per-column summaries (the "summarization" epiC provides)."""
+    summaries = []
+    for col in table.columns():
+        if col.is_continuous:
+            present = col.values[~np.isnan(col.values)]
+            summaries.append(
+                ColumnSummary(
+                    name=col.name,
+                    ctype=col.ctype,
+                    n_missing=col.n_missing(),
+                    n_distinct=int(np.unique(present).size),
+                    mean=float(present.mean()) if present.size else None,
+                    std=float(present.std()) if present.size else None,
+                    minimum=float(present.min()) if present.size else None,
+                    maximum=float(present.max()) if present.size else None,
+                )
+            )
+        else:
+            summaries.append(
+                ColumnSummary(
+                    name=col.name,
+                    ctype=col.ctype,
+                    n_missing=col.n_missing(),
+                    n_distinct=len(col.categories()),
+                )
+            )
+    return summaries

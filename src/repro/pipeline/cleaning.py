@@ -1,0 +1,236 @@
+"""Rule-based data cleaning (the DICE stage of the GEMINI stack).
+
+In the paper's pipeline (Figure 1), raw healthcare data first passes
+through DICE, the data cleaning and integration system, before any
+analytics runs.  This module implements the cleaning operations the
+healthcare example needs as composable rules:
+
+- :class:`DeduplicateRows` — drop exact duplicate records (keeping the
+  first occurrence), optionally keyed by an id column;
+- :class:`RangeRule` — null out continuous values outside a physically
+  plausible range (they become missing and are later mean-imputed);
+- :class:`VocabularyRule` — null out categorical values outside an
+  allowed vocabulary;
+- :class:`DropHighMissingColumns` — remove columns that are mostly
+  missing and carry no signal.
+
+Each rule transforms a table and returns a :class:`CleaningReport`
+entry, so the pipeline's provenance (what was changed and why) is
+auditable — the property a clinical deployment needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.table import Column, Table
+
+__all__ = [
+    "CleaningRule",
+    "CleaningAction",
+    "CleaningReport",
+    "DeduplicateRows",
+    "RangeRule",
+    "VocabularyRule",
+    "DropHighMissingColumns",
+    "DataCleaner",
+]
+
+
+@dataclass(frozen=True)
+class CleaningAction:
+    """One rule application: what changed and how much."""
+
+    rule: str
+    detail: str
+    cells_changed: int = 0
+    rows_removed: int = 0
+    columns_removed: int = 0
+
+
+@dataclass
+class CleaningReport:
+    """Accumulated audit trail of a cleaning run."""
+
+    actions: List[CleaningAction] = field(default_factory=list)
+
+    @property
+    def total_cells_changed(self) -> int:
+        return sum(a.cells_changed for a in self.actions)
+
+    @property
+    def total_rows_removed(self) -> int:
+        return sum(a.rows_removed for a in self.actions)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.actions)} cleaning actions:"]
+        lines.extend(
+            f"  [{a.rule}] {a.detail}: cells={a.cells_changed} "
+            f"rows-={a.rows_removed} cols-={a.columns_removed}"
+            for a in self.actions
+        )
+        return "\n".join(lines)
+
+
+class CleaningRule(abc.ABC):
+    """A table -> table transform with an audit record."""
+
+    @abc.abstractmethod
+    def apply(self, table: Table) -> Tuple[Table, CleaningAction]:
+        """Return the cleaned table and what was done."""
+
+
+class DeduplicateRows(CleaningRule):
+    """Drop exact duplicate rows, keeping the first occurrence.
+
+    When ``key`` is given, duplication is judged on that column alone
+    (e.g. one record per ``patient_id``); otherwise the whole row is
+    the identity.
+    """
+
+    def __init__(self, key: Optional[str] = None):
+        self.key = key
+
+    def apply(self, table: Table) -> Tuple[Table, CleaningAction]:
+        seen = set()
+        keep: List[int] = []
+        if self.key is not None:
+            values = table.column(self.key).values
+            for i, value in enumerate(values):
+                if value not in seen:
+                    seen.add(value)
+                    keep.append(i)
+        else:
+            for i, row in enumerate(table.iter_rows()):
+                signature = tuple(
+                    (k, None if _is_missing(v) else repr(v))
+                    for k, v in sorted(row.items())
+                )
+                if signature not in seen:
+                    seen.add(signature)
+                    keep.append(i)
+        removed = table.n_rows - len(keep)
+        cleaned = table.take(np.asarray(keep, dtype=np.int64))
+        detail = f"key={self.key!r}" if self.key else "whole-row identity"
+        return cleaned, CleaningAction(
+            rule="deduplicate", detail=detail, rows_removed=removed
+        )
+
+
+class RangeRule(CleaningRule):
+    """Null out continuous values outside ``[low, high]``.
+
+    Values become NaN ("missing") so the standard mean-imputation of
+    the preprocessing stage repairs them — matching how the paper's
+    preprocessing handles missing continuous values.
+    """
+
+    def __init__(self, columns: Iterable[str], low: float, high: float):
+        if low > high:
+            raise ValueError(f"low must be <= high, got [{low}, {high}]")
+        self.columns = list(columns)
+        self.low = float(low)
+        self.high = float(high)
+
+    def apply(self, table: Table) -> Tuple[Table, CleaningAction]:
+        changed = 0
+        out = table
+        for name in self.columns:
+            col = out.column(name)
+            if not col.is_continuous:
+                raise TypeError(f"RangeRule applies to continuous columns, "
+                                f"{name!r} is {col.ctype}")
+            values = col.values.copy()
+            bad = (~np.isnan(values)) & ((values < self.low) | (values > self.high))
+            if bad.any():
+                values[bad] = np.nan
+                changed += int(bad.sum())
+                out = out.with_column(Column(name, col.ctype, values))
+        return out, CleaningAction(
+            rule="range",
+            detail=f"{len(self.columns)} cols clipped to [{self.low}, {self.high}]",
+            cells_changed=changed,
+        )
+
+
+class VocabularyRule(CleaningRule):
+    """Null out categorical values outside an allowed vocabulary."""
+
+    def __init__(self, column: str, allowed: Iterable[object]):
+        self.column = column
+        self.allowed = set(allowed)
+        if not self.allowed:
+            raise ValueError("allowed vocabulary must be non-empty")
+
+    def apply(self, table: Table) -> Tuple[Table, CleaningAction]:
+        col = table.column(self.column)
+        if not col.is_categorical:
+            raise TypeError(f"VocabularyRule applies to categorical columns, "
+                            f"{self.column!r} is {col.ctype}")
+        values = col.values.copy()
+        changed = 0
+        for i, value in enumerate(values):
+            if value is not None and value not in self.allowed:
+                values[i] = None
+                changed += 1
+        out = table.with_column(Column(self.column, col.ctype, values))
+        return out, CleaningAction(
+            rule="vocabulary",
+            detail=f"{self.column!r} restricted to {len(self.allowed)} values",
+            cells_changed=changed,
+        )
+
+
+class DropHighMissingColumns(CleaningRule):
+    """Remove feature columns whose missing fraction exceeds a threshold."""
+
+    def __init__(self, max_missing_fraction: float = 0.5,
+                 protect: Iterable[str] = ()):
+        if not 0.0 <= max_missing_fraction <= 1.0:
+            raise ValueError("max_missing_fraction must be in [0, 1]")
+        self.max_missing_fraction = float(max_missing_fraction)
+        self.protect = set(protect)
+
+    def apply(self, table: Table) -> Tuple[Table, CleaningAction]:
+        to_drop = []
+        for col in table.columns():
+            if col.name in self.protect:
+                continue
+            if col.n_missing() / max(len(col), 1) > self.max_missing_fraction:
+                to_drop.append(col.name)
+        if len(to_drop) == table.n_columns:
+            raise ValueError("rule would drop every column")
+        out = table.without_columns(to_drop) if to_drop else table
+        return out, CleaningAction(
+            rule="drop-high-missing",
+            detail=f"dropped {to_drop}" if to_drop else "nothing to drop",
+            columns_removed=len(to_drop),
+        )
+
+
+class DataCleaner:
+    """Apply a sequence of rules and accumulate the audit report."""
+
+    def __init__(self, rules: List[CleaningRule]):
+        if not rules:
+            raise ValueError("need at least one cleaning rule")
+        self.rules = list(rules)
+
+    def clean(self, table: Table) -> Tuple[Table, CleaningReport]:
+        """Run all rules in order on ``table``."""
+        report = CleaningReport()
+        out = table
+        for rule in self.rules:
+            out, action = rule.apply(out)
+            report.actions.append(action)
+        return out, report
+
+
+def _is_missing(value: object) -> bool:
+    if value is None:
+        return True
+    return isinstance(value, float) and np.isnan(value)

@@ -1,0 +1,107 @@
+"""Cohort analysis (the CohAna stage of the GEMINI stack).
+
+CohAna supports "cohort analysis" over patient data (paper reference
+[21]): partitioning a population into cohorts by attributes and
+comparing outcome statistics across them.  This module implements the
+two operations the healthcare example uses:
+
+- :func:`build_cohorts` — partition a table into named cohorts by a
+  categorical attribute or a continuous attribute bucketed by
+  thresholds;
+- :class:`CohortComparison` — outcome rates per cohort with group sizes
+  so differences can be eyeballed for significance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.table import Table
+
+__all__ = ["Cohort", "build_cohorts", "CohortComparison", "compare_outcome"]
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """A named subset of rows."""
+
+    name: str
+    indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+
+def build_cohorts(
+    table: Table,
+    attribute: str,
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[Cohort]:
+    """Partition rows into cohorts by ``attribute``.
+
+    Categorical attributes produce one cohort per observed value
+    (missing values form their own ``<missing>`` cohort).  Continuous
+    attributes require ``thresholds`` and produce the half-open buckets
+    ``(-inf, t1], (t1, t2], ..., (tk, inf)``.
+    """
+    column = table.column(attribute)
+    cohorts: List[Cohort] = []
+    if column.is_categorical:
+        if thresholds is not None:
+            raise ValueError("thresholds apply only to continuous attributes")
+        buckets: Dict[object, List[int]] = {}
+        for i, value in enumerate(column.values):
+            key = "<missing>" if value is None else value
+            buckets.setdefault(key, []).append(i)
+        for key in sorted(buckets, key=repr):
+            cohorts.append(
+                Cohort(str(key), np.asarray(buckets[key], dtype=np.int64))
+            )
+    else:
+        if not thresholds:
+            raise ValueError("continuous attributes need bucketing thresholds")
+        cuts = sorted(float(t) for t in thresholds)
+        values = column.values
+        edges = [-np.inf] + cuts + [np.inf]
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (values > lo) & (values <= hi)
+            name = f"{attribute} in ({lo:g}, {hi:g}]"
+            idx = np.flatnonzero(mask & ~np.isnan(values))
+            if idx.size:
+                cohorts.append(Cohort(name, idx.astype(np.int64)))
+    if not cohorts:
+        raise ValueError(f"attribute {attribute!r} produced no cohorts")
+    return cohorts
+
+
+@dataclass(frozen=True)
+class CohortComparison:
+    """Outcome statistics per cohort."""
+
+    cohort: str
+    size: int
+    outcome_rate: float
+
+
+def compare_outcome(
+    cohorts: Sequence[Cohort],
+    outcome: np.ndarray,
+) -> List[CohortComparison]:
+    """Binary outcome rate per cohort (e.g. 30-day readmission rate)."""
+    outcome = np.asarray(outcome).reshape(-1)
+    comparisons = []
+    for cohort in cohorts:
+        if cohort.indices.size and cohort.indices.max() >= outcome.size:
+            raise IndexError(
+                f"cohort {cohort.name!r} indexes beyond the outcome vector"
+            )
+        rate = float(outcome[cohort.indices].mean()) if cohort.size else 0.0
+        comparisons.append(
+            CohortComparison(cohort=cohort.name, size=cohort.size,
+                             outcome_rate=rate)
+        )
+    return comparisons

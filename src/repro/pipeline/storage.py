@@ -1,0 +1,151 @@
+"""Immutable, content-addressed, versioned dataset store (Forkbase-like).
+
+The GEMINI stack (Figure 1 of the paper) keeps all data in Forkbase, "a
+universal immutable storage system" with git-like version semantics.
+This module provides the behaviours the analytics pipeline relies on:
+
+- **content addressing**: a stored table is identified by a digest of
+  its contents, so identical data deduplicates;
+- **immutability**: committed versions can never be altered; writing
+  produces new versions;
+- **branching**: named branches point at version hashes and can be
+  forked, advanced, and compared;
+- **lineage**: every commit records its parent and a message, so any
+  derived dataset (e.g. "cleaned") can be traced to its source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.table import Table
+
+__all__ = ["Commit", "VersionedStore"]
+
+
+def _digest_table(table: Table) -> str:
+    """Deterministic content hash of a table (names, types, values)."""
+    hasher = hashlib.sha256()
+    for column in table.columns():
+        hasher.update(column.name.encode())
+        hasher.update(column.ctype.encode())
+        if column.is_continuous:
+            hasher.update(np.ascontiguousarray(column.values).tobytes())
+        else:
+            for value in column.values:
+                hasher.update(repr(value).encode())
+                hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One immutable version of a dataset."""
+
+    version: str  # content digest of the table
+    message: str
+    parent: Optional[str]  # version hash of the parent commit, if any
+    commit_id: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        hasher = hashlib.sha256()
+        hasher.update(self.version.encode())
+        hasher.update(self.message.encode())
+        hasher.update((self.parent or "").encode())
+        object.__setattr__(self, "commit_id", hasher.hexdigest()[:16])
+
+
+class VersionedStore:
+    """In-memory Forkbase-style store for :class:`Table` datasets."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, Table] = {}
+        self._commits: Dict[str, Commit] = {}
+        self._branches: Dict[str, str] = {}  # branch -> commit_id
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def commit(
+        self, branch: str, table: Table, message: str
+    ) -> Commit:
+        """Store ``table`` as the new head of ``branch``.
+
+        The table is deep-copied on ingest, so later mutation of the
+        caller's arrays cannot violate immutability.  Identical content
+        deduplicates to the same object version.
+        """
+        snapshot = table.take(np.arange(table.n_rows))  # deep copy
+        version = _digest_table(snapshot)
+        if version not in self._objects:
+            self._objects[version] = snapshot
+        parent_commit = self._branches.get(branch)
+        parent_version = (
+            self._commits[parent_commit].version if parent_commit else None
+        )
+        commit = Commit(version=version, message=message, parent=parent_version)
+        self._commits[commit.commit_id] = commit
+        self._branches[branch] = commit.commit_id
+        return commit
+
+    def fork(self, source_branch: str, new_branch: str) -> None:
+        """Create ``new_branch`` pointing at the head of ``source_branch``."""
+        if source_branch not in self._branches:
+            raise KeyError(f"unknown branch {source_branch!r}")
+        if new_branch in self._branches:
+            raise ValueError(f"branch {new_branch!r} already exists")
+        self._branches[new_branch] = self._branches[source_branch]
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def branches(self) -> List[str]:
+        """All branch names."""
+        return sorted(self._branches)
+
+    def head(self, branch: str) -> Commit:
+        """The latest commit on ``branch``."""
+        if branch not in self._branches:
+            raise KeyError(f"unknown branch {branch!r}; have {self.branches()}")
+        return self._commits[self._branches[branch]]
+
+    def get(self, version: str) -> Table:
+        """The table stored under a content ``version`` hash.
+
+        A defensive copy is returned so callers cannot mutate history.
+        """
+        if version not in self._objects:
+            raise KeyError(f"unknown version {version[:12]}...")
+        table = self._objects[version]
+        return table.take(np.arange(table.n_rows))
+
+    def checkout(self, branch: str) -> Table:
+        """The table at the head of ``branch``."""
+        return self.get(self.head(branch).version)
+
+    def log(self, branch: str) -> List[Commit]:
+        """Commits reachable from the head of ``branch``, newest first."""
+        commits = []
+        current: Optional[Commit] = self.head(branch)
+        # Walk parents by version; build an index once.
+        by_version = {c.version: c for c in self._commits.values()}
+        seen = set()
+        while current is not None and current.commit_id not in seen:
+            commits.append(current)
+            seen.add(current.commit_id)
+            current = by_version.get(current.parent) if current.parent else None
+        return commits
+
+    def diff_versions(self, version_a: str, version_b: str) -> Dict[str, object]:
+        """Structural comparison of two stored versions."""
+        a, b = self.get(version_a), self.get(version_b)
+        return {
+            "rows": (a.n_rows, b.n_rows),
+            "columns_only_in_a": sorted(set(a.column_names) - set(b.column_names)),
+            "columns_only_in_b": sorted(set(b.column_names) - set(a.column_names)),
+            "identical": a.equals(b),
+        }

@@ -1,0 +1,116 @@
+"""Text visualization (the iDat stage of the GEMINI stack, Figure 1).
+
+The paper's pipeline ends in iDat, the visualization front-end.  In an
+offline terminal library the equivalent surface is plain-text charts;
+this module renders the artefacts the other stages produce:
+
+- :func:`histogram` — ASCII histogram of a continuous column;
+- :func:`bar_chart` — horizontal bars for categorical counts or cohort
+  outcome rates;
+- :func:`density_plot` — the Figure 3 mixture-density curve as rows of
+  bars over the weight axis;
+- :func:`render_cohorts` — the CohAna comparison as a chart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.table import Column
+from .cohort import CohortComparison
+
+__all__ = ["histogram", "bar_chart", "density_plot", "render_cohorts"]
+
+_BAR = "#"
+
+
+def _scaled_bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0.0:
+        return ""
+    return _BAR * max(0, int(round(width * value / maximum)))
+
+
+def histogram(
+    column: Column, bins: int = 10, width: int = 40
+) -> str:
+    """ASCII histogram of a continuous column (missing values skipped)."""
+    if not column.is_continuous:
+        raise TypeError(f"histogram needs a continuous column, got {column.ctype}")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    values = column.values[~np.isnan(column.values)]
+    if values.size == 0:
+        return f"{column.name}: (no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    top = counts.max()
+    lines = [f"{column.name} (n={values.size}, missing={column.n_missing()})"]
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = _scaled_bar(count, top, width)
+        lines.append(f"  [{lo:8.3f}, {hi:8.3f})  {count:6d}  {bar}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    fmt: str = ".3f",
+) -> str:
+    """Horizontal bar chart from ``{label: value}``."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    top = max(values.values())
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = _scaled_bar(value, top, width)
+        lines.append(f"  {str(label):{label_width}s}  {value:{fmt}}  {bar}")
+    return "\n".join(lines)
+
+
+def density_plot(
+    grid: np.ndarray,
+    density: np.ndarray,
+    crossovers: Optional[np.ndarray] = None,
+    rows: int = 21,
+    width: int = 40,
+    title: str = "mixture density",
+) -> str:
+    """Figure-3-style density curve as text.
+
+    Downsamples the density to ``rows`` positions along the weight axis
+    and draws one horizontal bar per position; crossover points A/B are
+    marked with ``<`` on the nearest row.
+    """
+    grid = np.asarray(grid).reshape(-1)
+    density = np.asarray(density).reshape(-1)
+    if grid.shape != density.shape or grid.size < 2:
+        raise ValueError("grid and density must be equal-length (>= 2)")
+    idx = np.linspace(0, grid.size - 1, rows).round().astype(int)
+    top = density.max()
+    marks = set()
+    if crossovers is not None:
+        for point in np.asarray(crossovers).reshape(-1):
+            for sign in (-1.0, 1.0):
+                marks.add(int(np.argmin(np.abs(grid[idx] - sign * point))))
+    lines = [title]
+    for row, i in enumerate(idx):
+        bar = _scaled_bar(density[i], top, width)
+        marker = " <- A/B" if row in marks else ""
+        lines.append(f"  w={grid[i]:8.3f}  {bar}{marker}")
+    return "\n".join(lines)
+
+
+def render_cohorts(
+    comparisons: Sequence[CohortComparison],
+    title: str = "outcome rate by cohort",
+) -> str:
+    """CohAna comparison as a bar chart with group sizes."""
+    if not comparisons:
+        raise ValueError("comparisons must be non-empty")
+    values = {
+        f"{c.cohort} (n={c.size})": c.outcome_rate for c in comparisons
+    }
+    return bar_chart(values, title=title)

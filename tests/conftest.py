@@ -1,0 +1,10 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministically seeded generator per test."""
+    return np.random.default_rng(12345)

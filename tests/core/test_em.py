@@ -1,0 +1,154 @@
+"""Unit tests for the EM update formulas (Equations (13) and (17))."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GaussianMixture,
+    em_step,
+    gm_loss_terms,
+    update_mixing_coefficients,
+    update_precisions,
+)
+from repro.core.em import merge_similar_components
+
+
+def make_mixture(pi, lam):
+    return GaussianMixture(pi=np.asarray(pi), lam=np.asarray(lam))
+
+
+def test_precision_update_closed_form_single_component():
+    # With one component responsibilities are all 1: Eq (13) reduces to
+    # lambda = (2(a-1) + M) / (2b + sum w^2).
+    w = np.array([0.1, -0.2, 0.3])
+    resp = np.ones((3, 1))
+    a, b = 1.5, 0.4
+    lam = update_precisions(resp, w, a=a, b=b)
+    expected = (2 * 0.5 + 3) / (2 * 0.4 + np.sum(w**2))
+    assert np.isclose(lam[0], expected)
+
+
+def test_precision_update_is_positive_and_clipped(rng):
+    w = np.zeros(10)  # degenerate weights
+    resp = np.ones((10, 1))
+    lam = update_precisions(resp, w, a=1.0, b=0.0)
+    assert np.all(lam > 0)
+    assert np.all(np.isfinite(lam))
+
+
+def test_gamma_prior_caps_precision():
+    # Larger b pulls the learned precision down (Section II-C).
+    w = np.full(100, 0.01)
+    resp = np.ones((100, 1))
+    lam_small_b = update_precisions(resp, w, a=1.0, b=0.01)[0]
+    lam_large_b = update_precisions(resp, w, a=1.0, b=10.0)[0]
+    assert lam_large_b < lam_small_b
+
+
+def test_mixing_update_matches_equation_17():
+    # alpha = 1 reduces Eq (17) to responsibility fractions.
+    resp = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+    pi = update_mixing_coefficients(resp, alpha=np.array([1.0, 1.0]))
+    assert np.allclose(pi, [2.5 / 4.0, 1.5 / 4.0])
+
+
+def test_mixing_update_on_simplex(rng):
+    resp = rng.dirichlet(np.ones(3), size=50)
+    pi = update_mixing_coefficients(resp, alpha=np.array([0.5, 0.5, 0.5]))
+    assert np.isclose(pi.sum(), 1.0)
+    assert np.all(pi >= 0.0)
+
+
+def test_alpha_below_one_prunes_empty_components():
+    # A component with zero responsibility and alpha < 1 goes negative
+    # in Eq (17)'s numerator and must be pruned to exactly zero.
+    resp = np.zeros((10, 2))
+    resp[:, 0] = 1.0
+    pi = update_mixing_coefficients(resp, alpha=np.array([0.5, 0.5]))
+    assert pi[1] == 0.0
+    assert np.isclose(pi.sum(), 1.0)
+
+
+def test_pruning_disabled_floors_instead():
+    resp = np.zeros((10, 2))
+    resp[:, 0] = 1.0
+    pi = update_mixing_coefficients(
+        resp, alpha=np.array([0.5, 0.5]), prune=False
+    )
+    assert pi[1] > 0.0
+
+
+def test_large_alpha_pulls_towards_uniform():
+    resp = np.zeros((10, 2))
+    resp[:, 0] = 1.0
+    pi = update_mixing_coefficients(resp, alpha=np.array([1000.0, 1000.0]))
+    assert abs(pi[0] - pi[1]) < 0.01
+
+
+def test_merge_similar_components_merges_equal_precisions():
+    pi, lam = merge_similar_components(
+        np.array([0.3, 0.3, 0.4]), np.array([5.0, 5.001, 100.0])
+    )
+    assert lam.size == 2
+    assert np.isclose(pi[0], 0.6)
+    assert np.isclose(pi.sum(), 1.0)
+
+
+def test_merge_keeps_distinct_components():
+    pi, lam = merge_similar_components(
+        np.array([0.5, 0.5]), np.array([1.0, 100.0])
+    )
+    assert lam.size == 2
+
+
+def test_merge_sorts_by_precision():
+    pi, lam = merge_similar_components(
+        np.array([0.7, 0.3]), np.array([50.0, 1.0])
+    )
+    assert lam[0] < lam[1]
+    assert np.isclose(pi[0], 0.3)
+
+
+def test_em_step_collapses_four_components_to_two(rng):
+    # The paper's K=4 -> 1-2 components observation on bimodal weights.
+    w = np.concatenate([rng.normal(0, 0.02, 900), rng.normal(0, 0.5, 100)])
+    mixture = make_mixture([0.25] * 4, [10.0, 20.0, 30.0, 40.0])
+    alpha = np.full(4, np.sqrt(1000.0))
+    for _ in range(100):
+        k = mixture.n_components
+        mixture = em_step(mixture, w, alpha=alpha[:k], a=1.05, b=5.0)
+    assert mixture.n_components == 2
+    # High-precision component carries most of the mass (900 noisy dims).
+    high = np.argmax(mixture.lam)
+    assert mixture.pi[high] > 0.7
+
+
+def test_em_step_reduces_loss(rng):
+    w = np.concatenate([rng.normal(0, 0.05, 500), rng.normal(0, 0.8, 50)])
+    mixture = make_mixture([0.25] * 4, [10.0, 20.0, 30.0, 40.0])
+    alpha = np.full(4, 1.0)
+    loss_before = gm_loss_terms(mixture, w, alpha, a=1.0, b=1.0)
+    for _ in range(30):
+        k = mixture.n_components
+        mixture = em_step(mixture, w, alpha=alpha[:k], a=1.0, b=1.0)
+    loss_after = gm_loss_terms(mixture, w, alpha[: mixture.n_components],
+                               a=1.0, b=1.0)
+    assert loss_after < loss_before
+
+
+def test_em_step_with_single_component_stays_valid(rng):
+    w = rng.normal(0, 0.1, 200)
+    mixture = make_mixture([1.0], [10.0])
+    out = em_step(mixture, w, alpha=np.array([1.0]), a=1.0, b=1.0)
+    assert out.n_components == 1
+    assert np.isclose(out.pi[0], 1.0)
+
+
+def test_em_fixed_point_precision_tracks_weight_scale(rng):
+    # For Gaussian weights with one component and weak priors the learned
+    # precision should approximate 1/var(w).
+    std = 0.2
+    w = rng.normal(0, std, 5000)
+    mixture = make_mixture([1.0], [1.0])
+    out = em_step(mixture, w, alpha=np.array([1.0]), a=1.0, b=1e-6)
+    assert np.isclose(out.lam[0], 1.0 / std**2, rtol=0.1)

@@ -1,0 +1,151 @@
+"""Unit tests for the adaptive GM regularizer (the paper's tool)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GMHyperParams, GMRegularizer, LazyUpdateSchedule
+
+
+@pytest.fixture
+def bimodal_w(rng):
+    """Weights with the signal/noise split of Section V-A."""
+    return np.concatenate(
+        [rng.normal(0, 0.02, 900), rng.normal(0, 0.5, 100)]
+    )
+
+
+def test_reg_gradient_matches_equation_10(rng):
+    reg = GMRegularizer(n_dimensions=50, weight_init_std=0.1)
+    w = rng.normal(0, 0.1, 50)
+    resp = reg.cal_responsibility(w)
+    expected = (resp @ reg.lam) * w
+    assert np.allclose(reg.calc_reg_grad(w), expected)
+
+
+def test_gradient_preserves_shape(rng):
+    reg = GMRegularizer(n_dimensions=12, weight_init_std=0.1)
+    w = rng.normal(0, 0.1, size=(3, 4))
+    grad = reg.gradient(w)
+    assert grad.shape == (3, 4)
+
+
+def test_dimension_mismatch_rejected(rng):
+    reg = GMRegularizer(n_dimensions=10)
+    with pytest.raises(ValueError):
+        reg.calc_reg_grad(rng.normal(size=11))
+
+
+def test_em_learns_two_components_from_bimodal(bimodal_w):
+    reg = GMRegularizer(n_dimensions=1000, weight_init_std=0.1)
+    for it in range(200):
+        reg.prepare(bimodal_w, it)
+        reg.update(bimodal_w, it)
+    assert reg.mixture.n_components == 2
+    # Most of the mass sits on the high-precision (noise) component.
+    assert reg.pi[np.argmax(reg.lam)] > 0.7
+
+
+def test_adaptive_strength_small_vs_large_weights(bimodal_w):
+    reg = GMRegularizer(n_dimensions=1000, weight_init_std=0.1)
+    for it in range(100):
+        reg.prepare(bimodal_w, it)
+        reg.update(bimodal_w, it)
+    grad = reg.calc_reg_grad(bimodal_w)
+    eff_precision = np.abs(grad / bimodal_w)
+    # Weights that are genuinely small get strong regularization; weights
+    # beyond the learned crossover get the weak low-precision component.
+    small = np.abs(bimodal_w) < 0.05
+    large = np.abs(bimodal_w) > 0.5
+    assert small.any() and large.any()
+    assert eff_precision[small].mean() > 5.0 * eff_precision[large].mean()
+
+
+def test_lazy_schedule_skips_esteps(bimodal_w):
+    sched = LazyUpdateSchedule(model_interval=10, gm_interval=10, eager_epochs=0)
+    reg = GMRegularizer(n_dimensions=1000, schedule=sched)
+    for it in range(100):
+        reg.prepare(bimodal_w, it)
+        reg.gradient(bimodal_w)
+        reg.update(bimodal_w, it)
+    # Only iterations divisible by 10 ran the E/M steps.
+    assert reg.estep_count == 10
+    assert reg.mstep_count == 10
+
+
+def test_eager_schedule_runs_every_step(bimodal_w):
+    reg = GMRegularizer(n_dimensions=1000)
+    for it in range(20):
+        reg.prepare(bimodal_w, it)
+        reg.update(bimodal_w, it)
+    assert reg.estep_count == 20
+    assert reg.mstep_count == 20
+
+
+def test_cached_gradient_reused_between_esteps(rng):
+    sched = LazyUpdateSchedule(model_interval=100, gm_interval=100, eager_epochs=0)
+    reg = GMRegularizer(n_dimensions=50, schedule=sched)
+    w1 = rng.normal(0, 0.1, 50)
+    reg.prepare(w1, 0)
+    g1 = reg.gradient(w1)
+    w2 = rng.normal(0, 0.1, 50)
+    reg.prepare(w2, 1)  # not due: cache kept
+    g2 = reg.gradient(w2)
+    assert np.array_equal(g1, g2)
+
+
+def test_epoch_end_reactivates_lazy_logic(bimodal_w):
+    sched = LazyUpdateSchedule(model_interval=7, gm_interval=7, eager_epochs=1)
+    reg = GMRegularizer(n_dimensions=1000, schedule=sched)
+    for it in range(10):  # epoch 0: eager
+        reg.prepare(bimodal_w, it)
+    assert reg.estep_count == 10
+    reg.epoch_end(0)
+    for it in range(10, 20):  # epoch 1: lazy, only it=14 hits 7 | it
+        reg.prepare(bimodal_w, it)
+    assert reg.estep_count == 11
+
+
+def test_first_gradient_without_prepare_works(rng):
+    reg = GMRegularizer(n_dimensions=20)
+    w = rng.normal(0, 0.1, 20)
+    grad = reg.gradient(w)
+    assert np.all(np.isfinite(grad))
+
+
+def test_penalty_is_negative_log_prior(rng):
+    reg = GMRegularizer(n_dimensions=30)
+    w = rng.normal(0, 0.1, 30)
+    assert np.isclose(reg.penalty(w), -reg.mixture.log_pdf(w).sum())
+
+
+def test_merge_disabled_keeps_components(bimodal_w):
+    reg = GMRegularizer(
+        n_dimensions=1000, merge_components=False, prune_components=False
+    )
+    for it in range(100):
+        reg.update(bimodal_w, it)
+    assert reg.mixture.n_components == 4
+
+
+def test_custom_hyperparams_respected():
+    hp = GMHyperParams(n_components=2, gamma=0.01, alpha_exponent=0.3)
+    reg = GMRegularizer(n_dimensions=100, hyperparams=hp)
+    assert reg.mixture.n_components == 2
+    assert np.isclose(reg._b, 1.0)  # gamma * M
+
+
+def test_regularization_loss_finite(bimodal_w):
+    reg = GMRegularizer(n_dimensions=1000)
+    for it in range(50):
+        reg.update(bimodal_w, it)
+    assert np.isfinite(reg.regularization_loss(bimodal_w))
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        GMRegularizer(n_dimensions=0)
+
+
+def test_init_method_forwarded():
+    reg = GMRegularizer(n_dimensions=10, init_method="proportional")
+    assert np.allclose(reg.lam, 10.0 * np.array([1.0, 2.0, 4.0, 8.0]))

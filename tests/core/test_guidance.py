@@ -1,0 +1,73 @@
+"""Tests for the hyper-parameter guidance helper."""
+
+import pytest
+
+from repro.core import (
+    GMRegularizer,
+    LazyUpdateSchedule,
+    make_recommended_regularizer,
+    recommend,
+)
+from repro.core.guidance import LAZY_UPDATE_THRESHOLD
+
+
+def test_paper_policy_constants():
+    rec = recommend(n_dimensions=89440, n_samples=50000, is_deep=True)
+    assert rec.hyperparams.n_components == 4
+    assert rec.hyperparams.alpha_exponent == 0.5
+    assert rec.hyperparams.a_scale == 0.01
+    assert rec.init_method == "linear"
+
+
+def test_large_deep_model_gets_lazy_schedule():
+    rec = recommend(n_dimensions=270896, n_samples=50000, is_deep=True)
+    assert rec.schedule == LazyUpdateSchedule(
+        model_interval=50, gm_interval=50, eager_epochs=2
+    )
+
+
+def test_small_model_stays_eager():
+    rec = recommend(n_dimensions=375, n_samples=1755, is_deep=False)
+    assert not rec.schedule.is_lazy
+
+
+def test_deep_but_small_tensor_stays_eager():
+    rec = recommend(
+        n_dimensions=LAZY_UPDATE_THRESHOLD - 1, n_samples=50000, is_deep=True
+    )
+    assert not rec.schedule.is_lazy
+
+
+def test_gamma_scales_with_inverse_sample_size():
+    big = recommend(100, 100000).hyperparams.gamma
+    mid = recommend(100, 2000).hyperparams.gamma
+    small = recommend(100, 200).hyperparams.gamma
+    assert big < mid < small
+
+
+def test_gamma_values_are_on_paper_grid():
+    from repro.core import gamma_grid
+    for n in (100, 2000, 100000):
+        assert recommend(50, n).hyperparams.gamma in gamma_grid()
+
+
+def test_rationale_is_informative():
+    rec = recommend(100, 100)
+    assert "K=4" in rec.rationale
+    assert "gamma" in rec.rationale
+
+
+def test_make_recommended_regularizer():
+    reg = make_recommended_regularizer(
+        n_dimensions=20000, n_samples=50000, is_deep=True
+    )
+    assert isinstance(reg, GMRegularizer)
+    assert reg.schedule.is_lazy
+    assert reg.mixture.n_components == 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        recommend(0, 100)
+    with pytest.raises(ValueError):
+        recommend(100, 0)

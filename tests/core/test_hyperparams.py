@@ -1,0 +1,58 @@
+"""Unit tests for the GM hyper-parameter policy (Section V-B1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_GAMMA_GRID, GMHyperParams, gamma_grid
+
+
+def test_gamma_grid_matches_paper():
+    assert gamma_grid() == (0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05)
+    assert DEFAULT_GAMMA_GRID == gamma_grid()
+
+
+def test_b_is_gamma_times_m():
+    hp = GMHyperParams(gamma=0.005)
+    assert np.isclose(hp.gamma_rate(1000), 5.0)
+
+
+def test_a_is_one_plus_scale_times_b():
+    hp = GMHyperParams(gamma=0.01, a_scale=0.01)
+    # b = 0.01 * 500 = 5; a = 1 + 0.05.
+    assert np.isclose(hp.gamma_shape(500), 1.05)
+
+
+def test_alpha_is_m_to_the_exponent():
+    hp = GMHyperParams(alpha_exponent=0.5, n_components=4)
+    alpha = hp.dirichlet_alpha(10000)
+    assert alpha.shape == (4,)
+    assert np.allclose(alpha, 100.0)
+
+
+def test_alpha_exponent_sweep_values():
+    for exponent in (0.3, 0.5, 0.7, 0.9):  # Figure 4's x-axis
+        hp = GMHyperParams(alpha_exponent=exponent)
+        assert np.allclose(hp.dirichlet_alpha(81), 81.0**exponent)
+
+
+def test_default_k_is_four():
+    assert GMHyperParams().n_components == 4
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_components": 0},
+    {"gamma": 0.0},
+    {"a_scale": -0.1},
+    {"alpha_exponent": -1.0},
+])
+def test_invalid_hyperparams_rejected(kwargs):
+    with pytest.raises(ValueError):
+        GMHyperParams(**kwargs)
+
+
+def test_dimension_validation():
+    hp = GMHyperParams()
+    with pytest.raises(ValueError):
+        hp.gamma_rate(0)
+    with pytest.raises(ValueError):
+        hp.dirichlet_alpha(0)

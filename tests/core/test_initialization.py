@@ -1,0 +1,73 @@
+"""Unit tests for GM initialization strategies (Section V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    base_precision_from_weight_init,
+    identical_precisions,
+    initialize_mixture,
+    linear_precisions,
+    proportional_precisions,
+)
+
+
+def test_base_precision_is_tenth_of_init_precision():
+    # Paper: init precision 100 (std 0.1) -> min = 10.
+    assert np.isclose(base_precision_from_weight_init(0.1), 10.0)
+
+
+def test_base_precision_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        base_precision_from_weight_init(0.0)
+
+
+def test_identical_all_equal():
+    lam = identical_precisions(10.0, 4)
+    assert np.allclose(lam, 10.0)
+
+
+def test_linear_spacing_endpoints():
+    lam = linear_precisions(10.0, 4)
+    assert np.isclose(lam[0], 10.0)
+    assert np.isclose(lam[-1], 40.0)
+    assert np.allclose(np.diff(lam), 10.0)
+
+
+def test_linear_single_component():
+    assert np.allclose(linear_precisions(5.0, 1), [5.0])
+
+
+def test_proportional_doubles():
+    lam = proportional_precisions(10.0, 4)
+    assert np.allclose(lam, [10.0, 20.0, 40.0, 80.0])
+
+
+def test_initialize_mixture_uniform_pi():
+    gm = initialize_mixture(4, 10.0, method="linear")
+    assert np.allclose(gm.pi, 0.25)
+    assert gm.n_components == 4
+
+
+@pytest.mark.parametrize("method", ["identical", "linear", "proportional"])
+def test_all_methods_start_at_base(method):
+    gm = initialize_mixture(3, 7.0, method=method)
+    assert np.isclose(gm.lam.min(), 7.0)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        initialize_mixture(4, 10.0, method="random")
+
+
+def test_invalid_base_rejected():
+    with pytest.raises(ValueError):
+        initialize_mixture(4, -1.0, method="linear")
+
+
+def test_linear_and_proportional_give_distinct_precisions():
+    # Section V-E: these two make initial responsibilities differ across
+    # components, which is why they beat identical initialization.
+    for method in ("linear", "proportional"):
+        gm = initialize_mixture(4, 10.0, method=method)
+        assert np.unique(gm.lam).size == 4

@@ -1,0 +1,74 @@
+"""Unit tests for the lazy-update schedule (Algorithm 2 decision logic)."""
+
+import pytest
+
+from repro.core import LazyUpdateSchedule
+
+
+def test_default_schedule_is_eager_within_warmup():
+    sched = LazyUpdateSchedule()
+    assert not sched.is_lazy
+    assert sched.should_update_reg_gradient(iteration=17, epoch=0)
+    assert sched.should_update_gm(iteration=17, epoch=0)
+
+
+def test_eager_epochs_update_every_iteration():
+    sched = LazyUpdateSchedule(model_interval=50, gm_interval=50, eager_epochs=2)
+    for it in range(10):
+        assert sched.should_update_reg_gradient(it, epoch=0)
+        assert sched.should_update_reg_gradient(it, epoch=1)
+
+
+def test_lazy_epochs_update_on_interval_only():
+    sched = LazyUpdateSchedule(model_interval=5, gm_interval=10, eager_epochs=1)
+    assert sched.should_update_reg_gradient(100, epoch=3)
+    assert not sched.should_update_reg_gradient(101, epoch=3)
+    assert sched.should_update_gm(100, epoch=3)
+    assert not sched.should_update_gm(105, epoch=3)
+
+
+def test_zero_eager_epochs_lazy_from_start():
+    sched = LazyUpdateSchedule(model_interval=4, gm_interval=4, eager_epochs=0)
+    assert sched.should_update_reg_gradient(0, epoch=0)  # it % 4 == 0
+    assert not sched.should_update_reg_gradient(1, epoch=0)
+
+
+def test_is_lazy_flag():
+    assert LazyUpdateSchedule(model_interval=2).is_lazy
+    assert LazyUpdateSchedule(gm_interval=2).is_lazy
+    assert not LazyUpdateSchedule().is_lazy
+
+
+@pytest.mark.parametrize("field,value", [
+    ("model_interval", 0), ("gm_interval", 0), ("eager_epochs", -1),
+])
+def test_invalid_parameters_rejected(field, value):
+    kwargs = {field: value}
+    with pytest.raises(ValueError):
+        LazyUpdateSchedule(**kwargs)
+
+
+def test_negative_counters_rejected():
+    sched = LazyUpdateSchedule()
+    with pytest.raises(ValueError):
+        sched.should_update_reg_gradient(-1, 0)
+    with pytest.raises(ValueError):
+        sched.should_update_gm(0, -1)
+
+
+def test_expected_estep_fraction_eager():
+    sched = LazyUpdateSchedule(model_interval=1, eager_epochs=0)
+    assert sched.expected_estep_fraction(10, 10) == 1.0
+
+
+def test_expected_estep_fraction_mixed():
+    # 2 eager epochs out of 10, interval 5 afterwards:
+    # (2*B + 8*B/5) / (10*B) = (2 + 1.6) / 10 = 0.36
+    sched = LazyUpdateSchedule(model_interval=5, eager_epochs=2)
+    assert abs(sched.expected_estep_fraction(20, 10) - 0.36) < 1e-12
+
+
+def test_expected_estep_fraction_validates_inputs():
+    sched = LazyUpdateSchedule()
+    with pytest.raises(ValueError):
+        sched.expected_estep_fraction(0, 5)

@@ -1,0 +1,107 @@
+"""Unit tests for the paper's preprocessing protocol (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Column, ColumnType, Table, TabularEncoder, one_hot
+from repro.datasets.preprocessing import MISSING_CATEGORY, encode_label_column
+
+
+def make_table(ages, colors):
+    return Table([
+        Column("age", ColumnType.CONTINUOUS, np.asarray(ages, dtype=np.float64)),
+        Column("color", ColumnType.CATEGORICAL,
+               np.asarray(colors, dtype=object)),
+    ])
+
+
+def test_one_hot_basic():
+    out = one_hot(np.array(["a", "b", "a"], dtype=object), ["a", "b"])
+    assert np.allclose(out, [[1, 0], [0, 1], [1, 0]])
+
+
+def test_one_hot_unknown_maps_to_zero_row():
+    out = one_hot(np.array(["c"], dtype=object), ["a", "b"])
+    assert np.allclose(out, [[0, 0]])
+
+
+def test_continuous_standardized_to_unit_variance():
+    table = make_table([1.0, 2.0, 3.0, 4.0], ["a"] * 4)
+    enc = TabularEncoder()
+    x = enc.fit_transform(table)
+    assert np.isclose(x[:, 0].mean(), 0.0)
+    assert np.isclose(x[:, 0].std(), 1.0)
+
+
+def test_missing_continuous_mean_imputed():
+    table = make_table([1.0, np.nan, 3.0], ["a"] * 3)
+    enc = TabularEncoder()
+    x = enc.fit_transform(table)
+    # Imputed to the mean -> standardized value 0.
+    assert np.isclose(x[1, 0], 0.0)
+
+
+def test_missing_categorical_gets_separate_class():
+    table = make_table([1.0, 2.0, 3.0], ["a", None, "b"])
+    enc = TabularEncoder()
+    x = enc.fit_transform(table)
+    assert f"color={MISSING_CATEGORY}" in enc.feature_names
+    missing_col = enc.feature_names.index(f"color={MISSING_CATEGORY}")
+    assert x[1, missing_col] == 1.0
+
+
+def test_no_missing_no_extra_class():
+    table = make_table([1.0, 2.0], ["a", "b"])
+    enc = TabularEncoder()
+    enc.fit(table)
+    assert f"color={MISSING_CATEGORY}" not in enc.feature_names
+    assert enc.n_features == 3  # age + 2 one-hot
+
+
+def test_statistics_frozen_at_fit_time():
+    train = make_table([0.0, 2.0], ["a", "b"])
+    test = make_table([4.0, 4.0], ["a", "a"])
+    enc = TabularEncoder()
+    enc.fit(train)
+    x = enc.transform(test)
+    # Standardized with the TRAIN mean 1 and std 1: (4 - 1) / 1 = 3.
+    assert np.allclose(x[:, 0], 3.0)
+
+
+def test_unseen_test_category_is_all_zeros():
+    train = make_table([0.0, 1.0], ["a", "b"])
+    test = make_table([0.0], ["z"])
+    enc = TabularEncoder()
+    enc.fit(train)
+    x = enc.transform(test)
+    assert np.allclose(x[0, 1:], 0.0)
+
+
+def test_transform_before_fit_rejected():
+    enc = TabularEncoder()
+    with pytest.raises(RuntimeError):
+        enc.transform(make_table([1.0], ["a"]))
+    with pytest.raises(RuntimeError):
+        enc.n_features
+
+
+def test_feature_names_align_with_columns():
+    table = make_table([1.0, 2.0], ["a", "b"])
+    enc = TabularEncoder()
+    x = enc.fit_transform(table)
+    assert len(enc.feature_names) == x.shape[1]
+    assert enc.feature_names[0] == "age"
+    assert enc.feature_names[1:] == ["color=a", "color=b"]
+
+
+def test_encode_label_column_binary_categorical():
+    col = Column("y", ColumnType.CATEGORICAL,
+                 np.asarray(["no", "yes", "no"], dtype=object))
+    assert encode_label_column(col).tolist() == [0, 1, 0]
+
+
+def test_encode_label_column_rejects_multiclass():
+    col = Column("y", ColumnType.CATEGORICAL,
+                 np.asarray(["a", "b", "c"], dtype=object))
+    with pytest.raises(ValueError):
+        encode_label_column(col)

@@ -1,0 +1,133 @@
+"""Unit tests for the class-conditional synthetic data generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CategoricalSpec,
+    TabularEncoder,
+    TabularSchema,
+    generate_dataset,
+)
+
+
+def basic_schema(**kwargs):
+    defaults = dict(
+        n_continuous=10,
+        categorical=(CategoricalSpec("c0", 3), CategoricalSpec("c1", 4)),
+        predictive_fraction=0.3,
+        class_separation=3.0,
+        flip_rate=0.0,
+    )
+    defaults.update(kwargs)
+    return TabularSchema(**defaults)
+
+
+def test_shapes_and_encoded_width(rng):
+    schema = basic_schema()
+    table, labels, weights = generate_dataset(schema, 200, rng)
+    assert table.n_rows == 200
+    assert labels.shape == (200,)
+    assert schema.n_encoded_features == 10 + 3 + 4
+    assert weights.shape == (17,)
+
+
+def test_labels_are_binary_and_roughly_balanced(rng):
+    _t, labels, _w = generate_dataset(basic_schema(), 1000, rng)
+    assert set(np.unique(labels)) <= {0, 1}
+    assert 0.4 < labels.mean() < 0.6
+
+
+def test_class_balance_respected(rng):
+    schema = basic_schema(class_balance=0.8)
+    _t, labels, _w = generate_dataset(schema, 2000, rng)
+    assert abs(labels.mean() - 0.8) < 0.04
+
+
+def test_determinism_per_seed():
+    schema = basic_schema()
+    t1, y1, w1 = generate_dataset(schema, 100, np.random.default_rng(3))
+    t2, y2, w2 = generate_dataset(schema, 100, np.random.default_rng(3))
+    assert t1.equals(t2)
+    assert np.array_equal(y1, y2)
+    assert np.array_equal(w1, w2)
+
+
+def test_missing_rates_injected(rng):
+    schema = basic_schema(
+        missing_continuous_rate=0.2, missing_categorical_rate=0.1
+    )
+    table, _y, _w = generate_dataset(schema, 2000, rng)
+    cont_missing = np.mean([
+        c.n_missing() / 2000 for c in table.columns() if c.is_continuous
+    ])
+    cat_missing = np.mean([
+        c.n_missing() / 2000 for c in table.columns() if c.is_categorical
+    ])
+    assert abs(cont_missing - 0.2) < 0.05
+    assert abs(cat_missing - 0.1) < 0.05
+
+
+def test_zero_separation_gives_chance_level(rng):
+    schema = basic_schema(class_separation=0.0)
+    table, labels, weights = generate_dataset(schema, 3000, rng)
+    encoded = TabularEncoder().fit_transform(table)
+    # The Bayes weights should be ~0 -> the discriminant is uninformative.
+    scores = encoded @ weights
+    preds = (scores > np.median(scores)).astype(int)
+    assert abs(np.mean(preds == labels) - 0.5) < 0.05
+
+
+def test_bayes_weights_separate_classes(rng):
+    schema = basic_schema(class_separation=4.0)
+    table, labels, weights = generate_dataset(schema, 2000, rng)
+    encoded = TabularEncoder().fit_transform(table)
+    scores = encoded @ weights
+    preds = (scores > np.quantile(scores, 1 - labels.mean())).astype(int)
+    assert np.mean(preds == labels) > 0.9
+
+
+def test_flip_rate_bounds_bayes_accuracy(rng):
+    schema = basic_schema(class_separation=8.0, flip_rate=0.2)
+    table, labels, weights = generate_dataset(schema, 4000, rng)
+    encoded = TabularEncoder().fit_transform(table)
+    scores = encoded @ weights
+    preds = (scores > np.quantile(scores, 0.5)).astype(int)
+    acc = np.mean(preds == labels)
+    assert 0.7 < acc < 0.86  # ~1 - flip_rate
+
+
+def test_predictive_fraction_limits_signal_support(rng):
+    schema = TabularSchema(
+        n_continuous=20, predictive_fraction=0.1, class_separation=3.0,
+        noise_std=0.1,
+    )
+    _t, _y, weights = generate_dataset(schema, 100, rng)
+    # Only ~2 continuous weights carry the bulk of the signal; the rest
+    # are small-but-nonzero (the paper's "noisy features").
+    strong = np.sum(np.abs(weights) > 0.5 * np.abs(weights).max())
+    assert strong <= 4
+    weak = np.abs(weights) <= 0.5 * np.abs(weights).max()
+    assert np.all(np.abs(weights[weak]) > 0.0)  # nonzero, not exactly zero
+
+
+def test_schema_validation():
+    with pytest.raises(ValueError):
+        TabularSchema()  # no features at all
+    with pytest.raises(ValueError):
+        basic_schema(flip_rate=0.6)
+    with pytest.raises(ValueError):
+        basic_schema(class_separation=-1.0)
+    with pytest.raises(ValueError):
+        basic_schema(missing_continuous_rate=1.0)
+    with pytest.raises(ValueError):
+        basic_schema(class_balance=0.0)
+    with pytest.raises(ValueError):
+        basic_schema(category_concentration=0.0)
+    with pytest.raises(ValueError):
+        CategoricalSpec("x", 1)
+
+
+def test_generate_dataset_rejects_zero_samples(rng):
+    with pytest.raises(ValueError):
+        generate_dataset(basic_schema(), 0, rng)

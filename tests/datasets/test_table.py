@@ -1,0 +1,127 @@
+"""Unit tests for the typed column-store Table."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Column, ColumnType, Table
+
+
+@pytest.fixture
+def table():
+    return Table([
+        Column("age", ColumnType.CONTINUOUS, np.array([30.0, 40.0, np.nan, 55.0])),
+        Column("sex", ColumnType.CATEGORICAL,
+               np.array(["m", "f", None, "f"], dtype=object)),
+    ])
+
+
+def test_basic_introspection(table):
+    assert table.n_rows == 4
+    assert table.n_columns == 2
+    assert table.column_names == ["age", "sex"]
+    assert "age" in table and "weight" not in table
+
+
+def test_missing_masks(table):
+    assert table.column("age").n_missing() == 1
+    assert table.column("sex").n_missing() == 1
+    assert table.column("age").missing_mask().tolist() == [False, False, True, False]
+
+
+def test_categories_sorted_excludes_missing(table):
+    assert table.column("sex").categories() == ["f", "m"]
+
+
+def test_categories_on_continuous_rejected(table):
+    with pytest.raises(TypeError):
+        table.column("age").categories()
+
+
+def test_take_and_head(table):
+    sub = table.take(np.array([3, 0]))
+    assert sub.column("age").values.tolist() == [55.0, 30.0]
+    assert table.head(2).n_rows == 2
+    assert table.head(100).n_rows == 4
+
+
+def test_take_returns_copies(table):
+    sub = table.take(np.array([0, 1]))
+    sub.column("age").values[0] = -1.0
+    assert table.column("age").values[0] == 30.0
+
+
+def test_select_projection(table):
+    sub = table.select(["sex"])
+    assert sub.column_names == ["sex"]
+
+
+def test_filter_by_predicate(table):
+    adults = table.filter(lambda row: row["sex"] == "f")
+    assert adults.n_rows == 2
+
+
+def test_with_column_appends_and_replaces(table):
+    extra = Column("bmi", ColumnType.CONTINUOUS, np.arange(4.0))
+    bigger = table.with_column(extra)
+    assert bigger.n_columns == 3
+    replaced = bigger.with_column(
+        Column("bmi", ColumnType.CONTINUOUS, np.zeros(4))
+    )
+    assert replaced.n_columns == 3
+    assert np.allclose(replaced.column("bmi").values, 0.0)
+
+
+def test_with_column_length_mismatch_rejected(table):
+    with pytest.raises(ValueError):
+        table.with_column(Column("x", ColumnType.CONTINUOUS, np.zeros(3)))
+
+
+def test_without_columns(table):
+    assert table.without_columns(["sex"]).column_names == ["age"]
+
+
+def test_iter_rows_and_row(table):
+    rows = list(table.iter_rows())
+    assert rows[0] == {"age": 30.0, "sex": "m"}
+    assert table.row(1)["sex"] == "f"
+    with pytest.raises(IndexError):
+        table.row(4)
+
+
+def test_duplicate_column_names_rejected():
+    col = Column("x", ColumnType.CONTINUOUS, np.zeros(2))
+    with pytest.raises(ValueError):
+        Table([col, col])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Table([
+            Column("a", ColumnType.CONTINUOUS, np.zeros(2)),
+            Column("b", ColumnType.CONTINUOUS, np.zeros(3)),
+        ])
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_from_dict_type_inference():
+    t = Table.from_dict({"num": [1.0, 2.0], "cat": ["a", "b"]})
+    assert t.column("num").is_continuous
+    assert t.column("cat").is_categorical
+
+
+def test_equals_with_nan(table):
+    clone = table.take(np.arange(4))
+    assert table.equals(clone)
+    other = table.with_column(
+        Column("age", ColumnType.CONTINUOUS, np.array([1.0, 2.0, 3.0, 4.0]))
+    )
+    assert not table.equals(other)
+
+
+def test_unknown_column_type_rejected():
+    with pytest.raises(ValueError):
+        Column("x", "ordinal", np.zeros(2))

@@ -1,0 +1,41 @@
+"""Tests for the design-choice ablations."""
+
+import numpy as np
+
+from repro.core import GaussianMixture
+from repro.experiments.ablations import (
+    naive_responsibilities,
+    responsibility_stability_comparison,
+    run_merge_ablation,
+    run_pruning_ablation,
+)
+
+
+def test_pruning_ablation_component_counts(rng):
+    counts = run_pruning_ablation(rng)
+    assert counts["paper (prune+merge)"] <= 2
+    assert counts["ablated (neither)"] == 4
+
+
+def test_merge_ablation_detects_duplicates(rng):
+    results = run_merge_ablation(rng)
+    n_on, _gap_on = results["merge on"]
+    n_off, gap_off = results["merge off"]
+    assert n_on <= n_off
+    if n_off > n_on:
+        # The unmerged variant carries near-duplicate precisions.
+        assert gap_off < 0.05
+
+
+def test_naive_matches_logspace_in_benign_regime(rng):
+    mixture = GaussianMixture(pi=np.array([0.3, 0.7]), lam=np.array([1.0, 50.0]))
+    w = rng.normal(0, 0.3, 100)
+    naive = naive_responsibilities(mixture, w)
+    stable = mixture.responsibilities(w)
+    assert np.allclose(naive, stable, atol=1e-12)
+
+
+def test_logspace_survives_extreme_precisions():
+    comparison = responsibility_stability_comparison(precision_scale=1e8)
+    assert comparison["logspace_bad_rows"] == 0.0
+    assert comparison["naive_bad_rows"] > 0.0

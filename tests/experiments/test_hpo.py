@@ -1,0 +1,69 @@
+"""Tests for the hyper-parameter-search comparison (Section VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TabularEncoder, TabularSchema, generate_dataset
+from repro.experiments.hpo import (
+    compare_hpo_budgets,
+    grid_search_l2,
+    random_search_l2,
+    train_adaptive_gm,
+)
+
+
+@pytest.fixture(scope="module")
+def splits():
+    schema = TabularSchema(
+        n_continuous=40, predictive_fraction=0.15, class_separation=3.0,
+        flip_rate=0.02, noise_std=0.15,
+    )
+    table, labels, _w = generate_dataset(schema, 600,
+                                         np.random.default_rng(5))
+    x = TabularEncoder().fit_transform(table)
+    return (x[:320], labels[:320], x[320:420], labels[320:420],
+            x[420:], labels[420:])
+
+
+def test_random_search_structure(splits):
+    result = random_search_l2(*splits, n_trials=3, epochs=30)
+    assert len(result.trials) == 3
+    assert result.n_trainings == 4
+    assert result.best_strength in {t.strength for t in result.trials}
+    assert 0.5 < result.test_accuracy <= 1.0
+
+
+def test_random_search_picks_best_validation_trial(splits):
+    result = random_search_l2(*splits, n_trials=4, epochs=30)
+    best_val = max(t.val_accuracy for t in result.trials)
+    chosen = next(t for t in result.trials
+                  if t.strength == result.best_strength)
+    assert chosen.val_accuracy == best_val
+
+
+def test_grid_search_covers_grid(splits):
+    result = grid_search_l2(*splits, grid=(0.1, 10.0), epochs=30)
+    assert sorted(t.strength for t in result.trials) == [0.1, 10.0]
+
+
+def test_adaptive_gm_single_run(splits):
+    acc = train_adaptive_gm(*splits, epochs=60)
+    assert 0.6 < acc <= 1.0
+
+
+def test_gm_competitive_with_searched_l2_at_fraction_of_budget(splits):
+    comparison = compare_hpo_budgets(*splits, budgets=(4,), epochs=60)
+    gm_acc, gm_cost = comparison["gm (adaptive)"]
+    rs_acc, rs_cost = comparison["random-search@4"]
+    assert gm_cost == 1
+    assert rs_cost == 5
+    # The paper's pitch: one adaptive run is competitive with a whole
+    # search (allowing a small margin for seed noise).
+    assert gm_acc >= rs_acc - 0.03
+
+
+def test_invalid_arguments(splits):
+    with pytest.raises(ValueError):
+        random_search_l2(*splits, n_trials=0)
+    with pytest.raises(ValueError):
+        random_search_l2(*splits, strength_range=(1.0, 0.1))

@@ -1,0 +1,73 @@
+"""Unit tests for the regularizer factory and CV grids."""
+
+import pytest
+
+from repro.core import (
+    ElasticNetRegularizer,
+    GMRegularizer,
+    HuberRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+)
+from repro.experiments import METHODS, default_grid, make_regularizer
+
+
+def test_method_names():
+    assert METHODS == ("none", "l1", "l2", "elastic", "huber", "gm")
+
+
+def test_none_returns_none():
+    assert make_regularizer("none", 10) is None
+
+
+@pytest.mark.parametrize("method,cls", [
+    ("l1", L1Regularizer),
+    ("l2", L2Regularizer),
+    ("elastic", ElasticNetRegularizer),
+    ("huber", HuberRegularizer),
+    ("gm", GMRegularizer),
+])
+def test_factory_types(method, cls):
+    reg = make_regularizer(method, 10, params={"strength": 2.0, "gamma": 0.01})
+    assert isinstance(reg, cls)
+
+
+def test_gm_params_forwarded():
+    reg = make_regularizer(
+        "gm", 100,
+        params={"gamma": 0.01, "alpha_exponent": 0.3, "n_components": 3,
+                "init_method": "proportional"},
+    )
+    assert isinstance(reg, GMRegularizer)
+    assert reg.hyperparams.gamma == 0.01
+    assert reg.hyperparams.alpha_exponent == 0.3
+    assert reg.mixture.n_components == 3
+    assert reg.init_method == "proportional"
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        make_regularizer("dropout", 10)
+    with pytest.raises(ValueError):
+        default_grid("dropout")
+
+
+def test_gm_grid_is_paper_gamma_grid():
+    grid = default_grid("gm")
+    assert [g["gamma"] for g in grid] == [
+        0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05
+    ]
+
+
+def test_compact_grids_are_smaller():
+    for method in ("l1", "l2", "elastic", "huber", "gm"):
+        assert len(default_grid(method, compact=True)) < len(default_grid(method))
+
+
+def test_none_grid_single_entry():
+    assert default_grid("none") == [{}]
+
+
+def test_elastic_grid_covers_ratios():
+    ratios = {g["l1_ratio"] for g in default_grid("elastic")}
+    assert ratios == {0.15, 0.5, 0.85}

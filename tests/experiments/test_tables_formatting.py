@@ -1,0 +1,69 @@
+"""Tests for the paper reference constants and text formatting."""
+
+import numpy as np
+
+from repro.experiments import (
+    PAPER_FIG3_MIXTURES,
+    PAPER_TABLE4_ALEX,
+    PAPER_TABLE5_RESNET,
+    PAPER_TABLE6,
+    PAPER_TABLE8,
+    format_mixture_rows,
+    format_series,
+    format_table,
+)
+
+
+def test_paper_table6_values():
+    assert PAPER_TABLE6["alex"] == {"none": 0.777, "l2": 0.822, "gm": 0.830}
+    assert PAPER_TABLE6["resnet"]["gm"] == 0.921
+    # The paper's ordering: none < l2 < gm on both models.
+    for model in ("alex", "resnet"):
+        row = PAPER_TABLE6[model]
+        assert row["none"] < row["l2"] < row["gm"]
+
+
+def test_paper_table8_linear_wins():
+    for model in ("alex", "resnet"):
+        row = PAPER_TABLE8[model]
+        assert row["linear"] >= row["proportional"] >= row["identical"]
+
+
+def test_paper_table4_mixtures_are_two_component():
+    for pi, lam in PAPER_TABLE4_ALEX.values():
+        assert len(pi) == len(lam) == 2
+        assert abs(sum(pi) - 1.0) < 1e-6
+        assert lam[0] < lam[1]
+
+
+def test_paper_table5_layer_names_match_our_resnet():
+    from repro.nn import resnet20
+
+    ours = {p.name for p in resnet20(seed=0).parameters()}
+    for name in PAPER_TABLE5_RESNET:
+        assert name in ours, name
+
+
+def test_paper_fig3_mixture_constants():
+    pi, lam = PAPER_FIG3_MIXTURES["horse-colic"]
+    assert pi == [0.326, 0.674]
+    assert lam == [1.270, 31.295]
+
+
+def test_format_table_alignment():
+    text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[1].startswith("---")
+
+
+def test_format_mixture_rows_includes_reference():
+    rows = [("conv1/weight", [0.2, 0.8], [1.0, 100.0])]
+    text = format_mixture_rows(rows, PAPER_TABLE4_ALEX)
+    assert "conv1/weight" in text
+    assert "835.959" in text
+
+
+def test_format_series():
+    text = format_series("acc", [0.3, 0.5], np.array([0.81, 0.83]))
+    assert text == "acc: 0.3:0.810, 0.5:0.830"

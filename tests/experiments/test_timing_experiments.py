@@ -1,0 +1,73 @@
+"""Tests for the lazy-update timing harness (tiny settings)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DeepRunConfig,
+    TimingCurve,
+    format_timing_curves,
+    run_ig_sweep,
+    run_im_sweep,
+    run_warmup_sweep,
+    speedup_table,
+)
+
+TINY = DeepRunConfig(
+    model="alex", image_size=8, n_train=60, n_test=40, epochs=3,
+    width_scale=0.25, batch_size=10,
+)
+
+
+def test_im_sweep_curves_structure():
+    curves = run_im_sweep(TINY, im_values=(1, 10), eager_epochs=1)
+    labels = [c.label for c in curves]
+    assert labels == ["Im=1", "Im=10", "baseline"]
+    for curve in curves:
+        assert curve.epochs.size == TINY.epochs
+        assert np.all(np.diff(curve.cumulative_seconds) >= 0.0)
+        assert curve.total_seconds == pytest.approx(
+            curve.cumulative_seconds[-1]
+        )
+
+
+def test_lazy_is_not_slower_than_eager():
+    curves = run_im_sweep(TINY, im_values=(1, 50), eager_epochs=0,
+                          include_baseline=False)
+    eager = next(c for c in curves if c.label == "Im=1")
+    lazy = next(c for c in curves if c.label == "Im=50")
+    assert lazy.total_seconds <= eager.total_seconds * 1.05
+
+
+def test_ig_sweep_requires_ig_geq_im():
+    with pytest.raises(ValueError):
+        run_ig_sweep(TINY, im=50, ig_values=(10,))
+
+
+def test_ig_sweep_labels():
+    curves = run_ig_sweep(TINY, im=5, ig_values=(5, 15), eager_epochs=0)
+    assert [c.label for c in curves] == ["Ig=5&Im=5", "Ig=15&Im=5"]
+
+
+def test_warmup_sweep_structure():
+    curves = run_warmup_sweep(TINY, e_values=(1, 2), im=5,
+                              include_baseline=False)
+    assert [c.label for c in curves] == ["E=1", "E=2"]
+
+
+def test_speedup_table_normalizes_to_slowest():
+    curves = [
+        TimingCurve("a", np.array([1]), np.array([2.0]), 2.0, 0.5),
+        TimingCurve("b", np.array([1]), np.array([1.0]), 1.0, 0.5),
+    ]
+    table = speedup_table(curves)
+    assert table["a"] == (2.0, 1.0)
+    assert table["b"] == (1.0, 2.0)
+    with pytest.raises(ValueError):
+        speedup_table([])
+
+
+def test_format_timing_curves_text():
+    curves = [TimingCurve("Im=1", np.array([1]), np.array([1.0]), 1.0, 0.9)]
+    text = format_timing_curves(curves)
+    assert "Im=1" in text and "0.900" in text

@@ -1,0 +1,96 @@
+"""Unit tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.core import L2Regularizer
+from repro.linear import LogisticRegression, accuracy, sigmoid
+from repro.optim import Trainer
+
+
+def test_sigmoid_stable_at_extremes():
+    z = np.array([-1000.0, 0.0, 1000.0])
+    out = sigmoid(z)
+    assert np.all(np.isfinite(out))
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] == pytest.approx(0.5)
+    assert out[2] == pytest.approx(1.0)
+
+
+def test_gradient_matches_numeric(rng):
+    model = LogisticRegression(5, rng=rng)
+    x = rng.normal(size=(12, 5))
+    y = rng.integers(0, 2, size=12)
+    loss, (grad_w, grad_b) = model.loss_and_gradients(x, y)
+
+    eps = 1e-6
+    for i in range(5):
+        model.weights[i] += eps
+        lp, _ = model.loss_and_gradients(x, y)
+        model.weights[i] -= 2 * eps
+        lm, _ = model.loss_and_gradients(x, y)
+        model.weights[i] += eps
+        assert grad_w[i] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+    model.bias[0] += eps
+    lp, _ = model.loss_and_gradients(x, y)
+    model.bias[0] -= 2 * eps
+    lm, _ = model.loss_and_gradients(x, y)
+    model.bias[0] += eps
+    assert grad_b[0] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+
+
+def test_learns_linearly_separable_data(rng):
+    x = rng.normal(size=(200, 3))
+    y = (x @ np.array([2.0, -1.0, 0.5]) > 0).astype(np.int64)
+    model = LogisticRegression(3, rng=rng)
+    Trainer(model, lr=1.0, batch_size=32).fit(x, y, epochs=50, rng=rng)
+    assert accuracy(y, model.predict(x)) > 0.97
+
+
+def test_predict_proba_in_unit_interval(rng):
+    model = LogisticRegression(4, rng=rng)
+    probs = model.predict_proba(rng.normal(size=(10, 4)))
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_predict_threshold_half(rng):
+    model = LogisticRegression(2, weight_init_std=0.0, rng=rng)
+    model.weights[...] = [1.0, 0.0]
+    x = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 0.0]])
+    assert model.predict(x).tolist() == [1, 0, 1]  # p=0.5 -> class 1
+
+
+def test_bias_unregularized():
+    model = LogisticRegression(3, regularizer=L2Regularizer(1.0))
+    params = model.parameters()
+    assert params[0].regularizer is not None
+    assert params[1].regularizer is None
+
+
+def test_input_shape_validated(rng):
+    model = LogisticRegression(3, rng=rng)
+    with pytest.raises(ValueError):
+        model.predict(rng.normal(size=(5, 4)))
+    with pytest.raises(ValueError):
+        model.predict_proba(rng.normal(size=(5,)))
+
+
+def test_decision_function_is_logit(rng):
+    model = LogisticRegression(3, rng=rng)
+    x = rng.normal(size=(7, 3))
+    assert np.allclose(
+        sigmoid(model.decision_function(x)), model.predict_proba(x)
+    )
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        LogisticRegression(0)
+    with pytest.raises(ValueError):
+        LogisticRegression(3, weight_init_std=-1.0)
+
+
+def test_parameters_share_memory_with_model(rng):
+    model = LogisticRegression(3, rng=rng)
+    model.parameters()[0].value[...] = 7.0
+    assert np.allclose(model.weights, 7.0)

@@ -1,0 +1,76 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.linear import (
+    accuracy,
+    confusion_counts,
+    error_rate,
+    mean_and_standard_error,
+    precision_recall_f1,
+)
+
+
+def test_accuracy_basic():
+    assert accuracy(np.array([1, 0, 1, 1]), np.array([1, 0, 0, 1])) == 0.75
+
+
+def test_accuracy_perfect_and_zero():
+    y = np.array([0, 1])
+    assert accuracy(y, y) == 1.0
+    assert accuracy(y, 1 - y) == 0.0
+
+
+def test_error_rate_complements_accuracy(rng):
+    y = rng.integers(0, 2, 50)
+    p = rng.integers(0, 2, 50)
+    assert error_rate(y, p) == pytest.approx(1.0 - accuracy(y, p))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        accuracy(np.array([1, 0]), np.array([1]))
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_mean_and_stderr_matches_formula():
+    values = [0.8, 0.9, 1.0, 0.7, 0.6]
+    mean, se = mean_and_standard_error(values)
+    assert mean == pytest.approx(0.8)
+    assert se == pytest.approx(np.std(values, ddof=1) / np.sqrt(5))
+
+
+def test_stderr_of_single_value_is_zero():
+    mean, se = mean_and_standard_error([0.5])
+    assert (mean, se) == (0.5, 0.0)
+
+
+def test_mean_and_stderr_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_and_standard_error([])
+
+
+def test_confusion_counts():
+    y = np.array([1, 1, 0, 0, 1])
+    p = np.array([1, 0, 1, 0, 1])
+    assert confusion_counts(y, p) == (2, 1, 1, 1)
+
+
+def test_precision_recall_f1():
+    y = np.array([1, 1, 0, 0, 1])
+    p = np.array([1, 0, 1, 0, 1])
+    precision, recall, f1 = precision_recall_f1(y, p)
+    assert precision == pytest.approx(2 / 3)
+    assert recall == pytest.approx(2 / 3)
+    assert f1 == pytest.approx(2 / 3)
+
+
+def test_precision_recall_degenerate_no_positives():
+    y = np.zeros(4, dtype=int)
+    p = np.zeros(4, dtype=int)
+    assert precision_recall_f1(y, p) == (0.0, 0.0, 0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for stratified splitting, k-fold and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.linear import (
+    cross_val_accuracy,
+    grid_search,
+    stratified_k_fold,
+    stratified_train_test_split,
+)
+
+
+def test_split_is_disjoint_and_exhaustive(rng):
+    y = rng.integers(0, 2, 100)
+    train, test = stratified_train_test_split(y, 0.2, rng)
+    assert set(train) & set(test) == set()
+    assert len(train) + len(test) == 100
+
+
+def test_split_preserves_class_proportions(rng):
+    y = np.array([0] * 80 + [1] * 20)
+    train, test = stratified_train_test_split(y, 0.25, rng)
+    assert np.isclose(y[test].mean(), 0.2, atol=0.02)
+    assert np.isclose(y[train].mean(), 0.2, atol=0.02)
+
+
+def test_split_keeps_minority_class_on_both_sides(rng):
+    y = np.array([0] * 50 + [1] * 3)
+    train, test = stratified_train_test_split(y, 0.2, rng)
+    assert (y[train] == 1).sum() >= 1
+    assert (y[test] == 1).sum() >= 1
+
+
+def test_split_different_seeds_differ():
+    y = np.arange(100) % 2
+    t1, _ = stratified_train_test_split(y, 0.2, np.random.default_rng(0))
+    t2, _ = stratified_train_test_split(y, 0.2, np.random.default_rng(1))
+    assert not np.array_equal(np.sort(t1), np.sort(t2)) or \
+        not np.array_equal(t1, t2)
+
+
+def test_split_validates_fraction(rng):
+    with pytest.raises(ValueError):
+        stratified_train_test_split(np.array([0, 1]), 0.0, rng)
+    with pytest.raises(ValueError):
+        stratified_train_test_split(np.array([0, 1]), 1.0, rng)
+
+
+def test_k_fold_covers_all_samples_once(rng):
+    y = rng.integers(0, 2, 53)
+    seen = []
+    for train, val in stratified_k_fold(y, 5, rng):
+        assert set(train) & set(val) == set()
+        seen.extend(val.tolist())
+    assert sorted(seen) == list(range(53))
+
+
+def test_k_fold_balanced_classes(rng):
+    y = np.array([0] * 30 + [1] * 30)
+    for _train, val in stratified_k_fold(y, 3, rng):
+        assert abs(y[val].mean() - 0.5) < 0.11
+
+
+def test_k_fold_more_folds_than_class_supply_skips_empty(rng):
+    # Regression (found by hypothesis): 3+3 samples into 4 folds used to
+    # yield an empty float-dtype fold and crash; empty folds are skipped.
+    y = np.array([0, 0, 0, 1, 1, 1])
+    folds = list(stratified_k_fold(y, 4, rng))
+    assert 1 <= len(folds) <= 4
+    seen = sorted(i for _tr, val in folds for i in val.tolist())
+    assert seen == list(range(6))
+
+
+def test_k_fold_validates(rng):
+    with pytest.raises(ValueError):
+        list(stratified_k_fold(np.array([0, 1]), 1, rng))
+    with pytest.raises(ValueError):
+        list(stratified_k_fold(np.array([0, 1]), 3, rng))
+
+
+def test_cross_val_accuracy_perfect_oracle(rng):
+    x = rng.normal(size=(60, 2))
+    y = (x[:, 0] > 0).astype(np.int64)
+
+    def oracle(_xt, _yt, x_val):
+        return (x_val[:, 0] > 0).astype(np.int64)
+
+    assert cross_val_accuracy(x, y, oracle, n_folds=3, rng=rng) == 1.0
+
+
+def test_grid_search_picks_best_candidate(rng):
+    x = rng.normal(size=(60, 2))
+    y = (x[:, 0] > 0).astype(np.int64)
+    grid = [{"flip": True}, {"flip": False}]
+
+    def factory(params):
+        def fit_predict(_xt, _yt, x_val):
+            preds = (x_val[:, 0] > 0).astype(np.int64)
+            return 1 - preds if params["flip"] else preds
+        return fit_predict
+
+    result = grid_search(x, y, grid, factory, n_folds=3, rng_seed=0)
+    assert result.best_params == {"flip": False}
+    assert result.best_score == 1.0
+    assert len(result.all_scores) == 2
+
+
+def test_grid_search_empty_grid_rejected(rng):
+    with pytest.raises(ValueError):
+        grid_search(np.zeros((4, 1)), np.array([0, 1, 0, 1]), [],
+                    lambda p: None, n_folds=2, rng_seed=0)

@@ -1,0 +1,85 @@
+"""Tests for multi-class softmax regression."""
+
+import numpy as np
+import pytest
+
+from repro.core import GMRegularizer, L2Regularizer
+from repro.linear import SoftmaxRegression, accuracy
+from repro.optim import Trainer
+
+
+def test_probabilities_form_distribution(rng):
+    model = SoftmaxRegression(5, 4, rng=rng)
+    probs = model.predict_proba(rng.normal(size=(10, 5)))
+    assert probs.shape == (10, 4)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+def test_gradient_matches_numeric(rng):
+    model = SoftmaxRegression(4, 3, rng=rng)
+    x = rng.normal(size=(9, 4))
+    y = rng.integers(0, 3, size=9)
+    _loss, (grad_w, grad_b) = model.loss_and_gradients(x, y)
+    eps = 1e-6
+    for i in range(4):
+        for k in range(3):
+            model.weights[i, k] += eps
+            lp, _ = model.loss_and_gradients(x, y)
+            model.weights[i, k] -= 2 * eps
+            lm, _ = model.loss_and_gradients(x, y)
+            model.weights[i, k] += eps
+            assert grad_w[i, k] == pytest.approx((lp - lm) / (2 * eps),
+                                                 abs=1e-4)
+    for k in range(3):
+        model.bias[k] += eps
+        lp, _ = model.loss_and_gradients(x, y)
+        model.bias[k] -= 2 * eps
+        lm, _ = model.loss_and_gradients(x, y)
+        model.bias[k] += eps
+        assert grad_b[k] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+
+
+def test_learns_three_linearly_separable_classes(rng):
+    centers = np.array([[3.0, 0.0], [-3.0, 3.0], [0.0, -3.0]])
+    y = rng.integers(0, 3, size=300)
+    x = centers[y] + rng.normal(0, 0.5, size=(300, 2))
+    model = SoftmaxRegression(2, 3, rng=rng)
+    Trainer(model, lr=0.5, batch_size=32).fit(x, y, epochs=60, rng=rng)
+    assert accuracy(y, model.predict(x)) > 0.97
+
+
+def test_gm_regularizer_on_weight_matrix(rng):
+    reg = GMRegularizer(n_dimensions=5 * 3)
+    model = SoftmaxRegression(5, 3, regularizer=reg, rng=rng)
+    x = rng.normal(size=(60, 5))
+    y = rng.integers(0, 3, size=60)
+    Trainer(model, lr=0.3, batch_size=20).fit(x, y, epochs=5, rng=rng)
+    assert reg.mstep_count > 0
+    assert np.all(np.isfinite(model.weights))
+
+
+def test_bias_unregularized(rng):
+    model = SoftmaxRegression(3, 2, regularizer=L2Regularizer(1.0), rng=rng)
+    assert model.parameters()[0].regularizer is not None
+    assert model.parameters()[1].regularizer is None
+
+
+def test_binary_case_consistent_with_logistic_ordering(rng):
+    # Softmax with 2 classes should rank samples like a linear score.
+    model = SoftmaxRegression(2, 2, rng=rng)
+    x = rng.normal(size=(20, 2))
+    probs = model.predict_proba(x)[:, 1]
+    preds = model.predict(x)
+    assert np.array_equal(preds, (probs > 0.5).astype(np.int64))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SoftmaxRegression(0, 3)
+    with pytest.raises(ValueError):
+        SoftmaxRegression(3, 1)
+    model = SoftmaxRegression(3, 2)
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((2, 4)))
+    with pytest.raises(ValueError):
+        model.loss_and_gradients(np.zeros((2, 3)), np.array([0, 5]))

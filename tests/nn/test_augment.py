@@ -1,0 +1,61 @@
+"""Unit tests for the pad-crop/flip augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import make_augmenter, pad_crop_flip
+
+
+def test_output_shape_preserved(rng):
+    batch = rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+    out = pad_crop_flip(batch, rng, pad=2)
+    assert out.shape == batch.shape
+    assert out.dtype == batch.dtype
+
+
+def test_zero_pad_no_flip_is_identity(rng):
+    batch = rng.normal(size=(4, 3, 8, 8))
+    out = pad_crop_flip(batch, rng, pad=0, flip_probability=0.0)
+    assert np.allclose(out, batch)
+
+
+def test_certain_flip_reverses_width(rng):
+    batch = rng.normal(size=(2, 1, 4, 4))
+    out = pad_crop_flip(batch, rng, pad=0, flip_probability=1.0)
+    assert np.allclose(out, batch[:, :, :, ::-1])
+
+
+def test_crops_come_from_padded_image(rng):
+    batch = np.ones((64, 1, 4, 4))
+    out = pad_crop_flip(batch, rng, pad=2, flip_probability=0.0)
+    # Values are 0 (pad) or 1 (original); some crops must include padding.
+    assert set(np.unique(out)) <= {0.0, 1.0}
+    assert out.mean() < 1.0
+
+
+def test_pixel_mass_preserved_without_pad(rng):
+    batch = rng.normal(size=(8, 3, 8, 8))
+    out = pad_crop_flip(batch, rng, pad=0)
+    # Without padding, a crop is the whole image (possibly flipped).
+    assert np.allclose(np.sort(out.reshape(8, -1)), np.sort(batch.reshape(8, -1)))
+
+
+def test_validates_input(rng):
+    with pytest.raises(ValueError):
+        pad_crop_flip(np.zeros((2, 3, 4)), rng)
+    with pytest.raises(ValueError):
+        pad_crop_flip(np.zeros((2, 3, 4, 4)), rng, pad=-1)
+
+
+def test_make_augmenter_wraps(rng):
+    augment = make_augmenter(pad=1, flip_probability=0.0)
+    batch = rng.normal(size=(3, 3, 6, 6))
+    out = augment(batch, rng)
+    assert out.shape == batch.shape
+
+
+def test_deterministic_given_rng():
+    batch = np.random.default_rng(0).normal(size=(5, 3, 8, 8))
+    out1 = pad_crop_flip(batch, np.random.default_rng(7), pad=2)
+    out2 = pad_crop_flip(batch, np.random.default_rng(7), pad=2)
+    assert np.array_equal(out1, out2)

@@ -1,0 +1,70 @@
+"""Tests for network weight checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Network,
+    alex_cifar10,
+    load_network_state_dict,
+    load_network_weights,
+    network_state_dict,
+    save_network,
+)
+from repro.nn.layers import Dense, ReLU
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Network([
+        Dense("fc1", 4, 8, rng=rng),
+        ReLU("r"),
+        Dense("fc2", 8, 2, rng=rng),
+    ])
+
+
+def test_state_dict_names_and_copies():
+    net = small_net()
+    state = network_state_dict(net)
+    assert set(state) == {"fc1/weight", "fc1/bias", "fc2/weight", "fc2/bias"}
+    state["fc1/weight"][...] = 0.0
+    assert not np.allclose(net.parameters()[0].value, 0.0)
+
+
+def test_load_state_dict_roundtrip():
+    source = small_net(seed=1)
+    target = small_net(seed=2)
+    load_network_state_dict(target, network_state_dict(source))
+    x = np.random.default_rng(0).normal(size=(3, 4))
+    assert np.allclose(
+        source.forward(x, training=False), target.forward(x, training=False)
+    )
+
+
+def test_strict_mismatch_raises():
+    net = small_net()
+    state = network_state_dict(net)
+    del state["fc2/bias"]
+    with pytest.raises(KeyError):
+        load_network_state_dict(net, state)
+    load_network_state_dict(net, state, strict=False)  # lenient mode works
+
+
+def test_shape_mismatch_raises():
+    net = small_net()
+    state = network_state_dict(net)
+    state["fc1/weight"] = np.zeros((4, 9))
+    with pytest.raises(ValueError):
+        load_network_state_dict(net, state, strict=False)
+
+
+def test_file_roundtrip(tmp_path):
+    source = alex_cifar10(image_size=8, width_scale=0.25, seed=3)
+    path = str(tmp_path / "weights.npz")
+    save_network(source, path)
+    target = alex_cifar10(image_size=8, width_scale=0.25, seed=99)
+    load_network_weights(target, path)
+    x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+    assert np.allclose(
+        source.forward(x, training=False), target.forward(x, training=False)
+    )

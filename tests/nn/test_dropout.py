@@ -1,0 +1,60 @@
+"""Tests for the inverted dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout
+
+
+def test_inference_is_identity(rng):
+    layer = Dropout("d", drop_prob=0.5, rng=rng)
+    x = rng.normal(size=(8, 10))
+    assert np.array_equal(layer.forward(x, training=False), x)
+
+
+def test_training_zeroes_roughly_drop_prob(rng):
+    layer = Dropout("d", drop_prob=0.3, rng=rng)
+    x = np.ones((100, 100))
+    out = layer.forward(x, training=True)
+    zero_fraction = np.mean(out == 0.0)
+    assert abs(zero_fraction - 0.3) < 0.03
+
+
+def test_inverted_scaling_preserves_expectation(rng):
+    layer = Dropout("d", drop_prob=0.4, rng=rng)
+    x = np.ones((200, 200))
+    out = layer.forward(x, training=True)
+    assert abs(out.mean() - 1.0) < 0.02
+
+
+def test_backward_uses_same_mask(rng):
+    layer = Dropout("d", drop_prob=0.5, rng=rng)
+    x = rng.normal(size=(5, 6))
+    out = layer.forward(x, training=True)
+    grad = layer.backward(np.ones_like(x))
+    # Gradient is zero exactly where the forward output was zeroed.
+    assert np.array_equal(grad == 0.0, out == 0.0)
+
+
+def test_zero_drop_prob_identity_everywhere(rng):
+    layer = Dropout("d", drop_prob=0.0, rng=rng)
+    x = rng.normal(size=(4, 4))
+    assert np.array_equal(layer.forward(x, training=True), x)
+    assert np.array_equal(layer.backward(x), x)
+
+
+def test_backward_before_forward_raises(rng):
+    layer = Dropout("d", drop_prob=0.5, rng=rng)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((2, 2)))
+
+
+def test_invalid_drop_prob_rejected():
+    with pytest.raises(ValueError):
+        Dropout("d", drop_prob=1.0)
+    with pytest.raises(ValueError):
+        Dropout("d", drop_prob=-0.1)
+
+
+def test_no_trainable_parameters(rng):
+    assert Dropout("d", rng=rng).n_parameters == 0

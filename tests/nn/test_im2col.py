@@ -1,0 +1,66 @@
+"""Unit tests for the im2col/col2im lowering."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+def test_output_size_formula():
+    assert conv_output_size(32, 3, 1, 1) == 32
+    assert conv_output_size(32, 2, 2, 0) == 16
+    assert conv_output_size(5, 3, 2, 0) == 2
+
+
+def test_output_size_rejects_oversized_kernel():
+    with pytest.raises(ValueError):
+        conv_output_size(2, 5, 1, 0)
+
+
+def test_im2col_identity_kernel():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    col, oh, ow = im2col(x, 1, 1, 1, 0)
+    assert (oh, ow) == (4, 4)
+    assert np.allclose(col.reshape(-1), x.reshape(-1))
+
+
+def test_im2col_extracts_correct_patches():
+    x = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+    col, oh, ow = im2col(x, 2, 2, 1, 0)
+    assert (oh, ow) == (2, 2)
+    # First patch is the top-left 2x2 window.
+    assert np.allclose(col[0], [0, 1, 3, 4])
+    assert np.allclose(col[3], [4, 5, 7, 8])
+
+
+def test_im2col_respects_padding():
+    x = np.ones((1, 1, 2, 2))
+    col, oh, ow = im2col(x, 3, 3, 1, 1)
+    assert (oh, ow) == (2, 2)
+    # Top-left window sees 5 zeros from the pad border.
+    assert col[0].sum() == 4.0
+
+
+def test_col2im_inverts_for_nonoverlapping_windows(rng):
+    x = rng.normal(size=(2, 3, 4, 4))
+    col, _, _ = im2col(x, 2, 2, 2, 0)
+    back = col2im(col, x.shape, 2, 2, 2, 0)
+    assert np.allclose(back, x)
+
+
+def test_col2im_sums_overlaps():
+    x = np.ones((1, 1, 3, 3))
+    col, _, _ = im2col(x, 2, 2, 1, 0)
+    back = col2im(col, x.shape, 2, 2, 1, 0)
+    # Center pixel is covered by all four 2x2 windows.
+    assert back[0, 0, 1, 1] == 4.0
+    assert back[0, 0, 0, 0] == 1.0
+
+
+def test_im2col_channel_layout(rng):
+    # Each row is laid out [channel][kh][kw].
+    x = rng.normal(size=(1, 2, 2, 2))
+    col, _, _ = im2col(x, 2, 2, 1, 0)
+    assert col.shape == (1, 8)
+    assert np.allclose(col[0, :4], x[0, 0].reshape(-1))
+    assert np.allclose(col[0, 4:], x[0, 1].reshape(-1))

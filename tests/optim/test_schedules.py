@@ -1,0 +1,49 @@
+"""Unit tests for learning-rate schedules."""
+
+import pytest
+
+from repro.optim import ConstantLR, ExponentialDecayLR, StepDecayLR
+
+
+def test_constant_lr():
+    sched = ConstantLR(0.1)
+    assert sched.lr_at(0) == 0.1
+    assert sched.lr_at(100) == 0.1
+
+
+def test_step_decay_applies_milestones():
+    sched = StepDecayLR(0.1, {80: 0.1, 120: 0.1})
+    assert sched.lr_at(0) == pytest.approx(0.1)
+    assert sched.lr_at(80) == pytest.approx(0.01)
+    assert sched.lr_at(119) == pytest.approx(0.01)
+    assert sched.lr_at(120) == pytest.approx(0.001)
+
+
+def test_step_decay_unordered_milestones():
+    sched = StepDecayLR(1.0, {20: 0.5, 10: 0.5})
+    assert sched.lr_at(15) == pytest.approx(0.5)
+    assert sched.lr_at(25) == pytest.approx(0.25)
+
+
+def test_exponential_decay():
+    sched = ExponentialDecayLR(1.0, 0.5)
+    assert sched.lr_at(0) == 1.0
+    assert sched.lr_at(3) == pytest.approx(0.125)
+
+
+@pytest.mark.parametrize("make", [
+    lambda: ConstantLR(0.0),
+    lambda: StepDecayLR(0.0, {}),
+    lambda: StepDecayLR(0.1, {-1: 0.5}),
+    lambda: StepDecayLR(0.1, {10: 0.0}),
+    lambda: ExponentialDecayLR(1.0, 0.0),
+    lambda: ExponentialDecayLR(1.0, 1.5),
+])
+def test_invalid_schedules_rejected(make):
+    with pytest.raises(ValueError):
+        make()
+
+
+def test_negative_epoch_rejected():
+    with pytest.raises(ValueError):
+        ConstantLR(0.1).lr_at(-1)

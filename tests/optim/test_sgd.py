@@ -1,0 +1,85 @@
+"""Unit tests for the SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD
+
+
+def test_vanilla_sgd_update_rule():
+    w = np.array([1.0, -2.0])
+    opt = SGD([w], lr=0.1)
+    opt.step([np.array([0.5, -0.5])])
+    assert np.allclose(w, [0.95, -1.95])
+
+
+def test_momentum_accumulates_velocity():
+    w = np.zeros(1)
+    opt = SGD([w], lr=1.0, momentum=0.9)
+    g = [np.array([1.0])]
+    opt.step(g)  # v = -1, w = -1
+    opt.step(g)  # v = -1.9, w = -2.9
+    assert np.isclose(w[0], -2.9)
+
+
+def test_momentum_zero_equals_vanilla(rng):
+    w1 = rng.normal(size=5)
+    w2 = w1.copy()
+    opt1 = SGD([w1], lr=0.05)
+    opt2 = SGD([w2], lr=0.05, momentum=0.0)
+    g = rng.normal(size=5)
+    opt1.step([g])
+    opt2.step([g])
+    assert np.allclose(w1, w2)
+
+
+def test_updates_multiple_params_in_place():
+    a, b = np.ones(2), np.ones(3)
+    opt = SGD([a, b], lr=0.5)
+    opt.step([np.ones(2), 2 * np.ones(3)])
+    assert np.allclose(a, 0.5)
+    assert np.allclose(b, 0.0)
+
+
+def test_gradient_count_mismatch_rejected():
+    opt = SGD([np.zeros(2)], lr=0.1)
+    with pytest.raises(ValueError):
+        opt.step([np.zeros(2), np.zeros(2)])
+
+
+def test_set_lr_changes_step_size():
+    w = np.zeros(1)
+    opt = SGD([w], lr=0.1)
+    opt.set_lr(1.0)
+    opt.step([np.array([1.0])])
+    assert np.isclose(w[0], -1.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"lr": 0.0}, {"lr": -0.1}, {"lr": 0.1, "momentum": 1.0},
+    {"lr": 0.1, "momentum": -0.1},
+])
+def test_invalid_hyperparameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        SGD([np.zeros(1)], **kwargs)
+
+
+def test_empty_params_rejected():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_set_lr_rejects_nonpositive():
+    opt = SGD([np.zeros(1)], lr=0.1)
+    with pytest.raises(ValueError):
+        opt.set_lr(0.0)
+
+
+def test_converges_on_quadratic(rng):
+    # Minimize 0.5 * ||w - target||^2.
+    target = rng.normal(size=10)
+    w = np.zeros(10)
+    opt = SGD([w], lr=0.2, momentum=0.5)
+    for _ in range(200):
+        opt.step([w - target])
+    assert np.allclose(w, target, atol=1e-6)

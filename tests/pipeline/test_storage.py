@@ -1,0 +1,99 @@
+"""Unit tests for the Forkbase-like immutable versioned store."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Column, ColumnType, Table
+from repro.pipeline import VersionedStore
+
+
+def make_table(values):
+    return Table([
+        Column("x", ColumnType.CONTINUOUS, np.asarray(values, dtype=np.float64)),
+    ])
+
+
+def test_commit_and_checkout_roundtrip():
+    store = VersionedStore()
+    table = make_table([1.0, 2.0])
+    commit = store.commit("main", table, "initial")
+    assert store.checkout("main").equals(table)
+    assert store.head("main").commit_id == commit.commit_id
+
+
+def test_content_addressing_deduplicates():
+    store = VersionedStore()
+    c1 = store.commit("main", make_table([1.0]), "first")
+    c2 = store.commit("other", make_table([1.0]), "same content")
+    assert c1.version == c2.version
+    assert c1.commit_id != c2.commit_id  # different commit metadata
+
+
+def test_committed_data_is_immutable_against_caller_mutation():
+    store = VersionedStore()
+    table = make_table([1.0, 2.0])
+    commit = store.commit("main", table, "snapshot")
+    table.column("x").values[0] = 999.0  # mutate the caller's arrays
+    assert store.get(commit.version).column("x").values[0] == 1.0
+
+
+def test_checkout_returns_defensive_copy():
+    store = VersionedStore()
+    commit = store.commit("main", make_table([5.0]), "v1")
+    out = store.checkout("main")
+    out.column("x").values[0] = -1.0
+    assert store.get(commit.version).column("x").values[0] == 5.0
+
+
+def test_lineage_walk():
+    store = VersionedStore()
+    store.commit("main", make_table([1.0]), "v1")
+    store.commit("main", make_table([2.0]), "v2")
+    store.commit("main", make_table([3.0]), "v3")
+    log = store.log("main")
+    assert [c.message for c in log] == ["v3", "v2", "v1"]
+    assert log[-1].parent is None
+
+
+def test_fork_points_at_same_head():
+    store = VersionedStore()
+    store.commit("main", make_table([1.0]), "v1")
+    store.fork("main", "experiment")
+    assert store.head("experiment").version == store.head("main").version
+    # Advancing the fork leaves main untouched.
+    store.commit("experiment", make_table([2.0]), "v2")
+    assert store.checkout("main").column("x").values[0] == 1.0
+
+
+def test_fork_validation():
+    store = VersionedStore()
+    with pytest.raises(KeyError):
+        store.fork("missing", "new")
+    store.commit("main", make_table([1.0]), "v1")
+    store.fork("main", "dup")
+    with pytest.raises(ValueError):
+        store.fork("main", "dup")
+
+
+def test_unknown_branch_and_version_rejected():
+    store = VersionedStore()
+    with pytest.raises(KeyError):
+        store.head("nope")
+    with pytest.raises(KeyError):
+        store.get("deadbeef")
+
+
+def test_diff_versions():
+    store = VersionedStore()
+    c1 = store.commit("main", make_table([1.0, 2.0]), "v1")
+    c2 = store.commit("main", make_table([1.0]), "v2")
+    diff = store.diff_versions(c1.version, c2.version)
+    assert diff["rows"] == (2, 1)
+    assert not diff["identical"]
+
+
+def test_branches_listing():
+    store = VersionedStore()
+    store.commit("b", make_table([1.0]), "x")
+    store.commit("a", make_table([2.0]), "y")
+    assert store.branches() == ["a", "b"]

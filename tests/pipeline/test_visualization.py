@@ -1,0 +1,77 @@
+"""Tests for the iDat-style text visualization stage."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Column, ColumnType
+from repro.pipeline import (
+    CohortComparison,
+    bar_chart,
+    density_plot,
+    histogram,
+    render_cohorts,
+)
+
+
+def test_histogram_basic(rng):
+    col = Column("age", ColumnType.CONTINUOUS, rng.normal(50, 10, 500))
+    text = histogram(col, bins=5)
+    assert "age" in text
+    assert text.count("\n") == 5  # header + 5 bins
+    assert "#" in text
+
+
+def test_histogram_reports_missing():
+    col = Column("x", ColumnType.CONTINUOUS, np.array([1.0, np.nan, 3.0]))
+    assert "missing=1" in histogram(col, bins=2)
+
+
+def test_histogram_empty_column():
+    col = Column("x", ColumnType.CONTINUOUS, np.array([np.nan, np.nan]))
+    assert "(no data)" in histogram(col)
+
+
+def test_histogram_rejects_categorical():
+    col = Column("c", ColumnType.CATEGORICAL, np.asarray(["a"], dtype=object))
+    with pytest.raises(TypeError):
+        histogram(col)
+
+
+def test_bar_chart_scales_to_maximum():
+    text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        bar_chart({})
+
+
+def test_density_plot_marks_crossovers():
+    grid = np.linspace(-2, 2, 101)
+    density = np.exp(-grid**2)
+    text = density_plot(grid, density, crossovers=np.array([1.0]), rows=11)
+    assert text.count("A/B") == 2  # marked at +1 and -1
+    assert "w=" in text
+
+
+def test_density_plot_validates_shapes():
+    with pytest.raises(ValueError):
+        density_plot(np.zeros(3), np.zeros(4))
+
+
+def test_render_cohorts():
+    comparisons = [
+        CohortComparison("young", 100, 0.2),
+        CohortComparison("old", 50, 0.4),
+    ]
+    text = render_cohorts(comparisons)
+    assert "young (n=100)" in text
+    assert "0.400" in text
+
+
+def test_render_cohorts_empty_rejected():
+    with pytest.raises(ValueError):
+        render_cohorts([])

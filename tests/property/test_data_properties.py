@@ -1,0 +1,92 @@
+"""Property-based tests for the data layer (Table, encoder, splits)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Column, ColumnType, Table, TabularEncoder
+from repro.linear import stratified_k_fold, stratified_train_test_split
+
+
+@st.composite
+def small_tables(draw):
+    n = draw(st.integers(2, 40))
+    n_cont = draw(st.integers(0, 3))
+    n_cat = draw(st.integers(0 if n_cont else 1, 3))
+    columns = []
+    for j in range(n_cont):
+        values = np.asarray(
+            draw(st.lists(
+                st.one_of(st.floats(-100, 100), st.just(float("nan"))),
+                min_size=n, max_size=n,
+            )),
+            dtype=np.float64,
+        )
+        columns.append(Column(f"num{j}", ColumnType.CONTINUOUS, values))
+    for j in range(n_cat):
+        values = np.asarray(
+            draw(st.lists(
+                st.one_of(st.sampled_from(["a", "b", "c"]), st.none()),
+                min_size=n, max_size=n,
+            )),
+            dtype=object,
+        )
+        columns.append(Column(f"cat{j}", ColumnType.CATEGORICAL, values))
+    return Table(columns)
+
+
+@given(small_tables())
+@settings(max_examples=50, deadline=None)
+def test_encoder_output_is_finite(table):
+    x = TabularEncoder().fit_transform(table)
+    assert x.shape[0] == table.n_rows
+    assert np.all(np.isfinite(x))
+
+
+@given(small_tables())
+@settings(max_examples=50, deadline=None)
+def test_encoder_transform_idempotent_on_training_data(table):
+    enc = TabularEncoder()
+    x1 = enc.fit_transform(table)
+    x2 = enc.transform(table)
+    assert np.array_equal(x1, x2)
+
+
+@given(small_tables())
+@settings(max_examples=50, deadline=None)
+def test_take_roundtrip_preserves_table(table):
+    indices = np.arange(table.n_rows)
+    assert table.take(indices).equals(table)
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=4, max_size=200),
+    st.floats(0.1, 0.4),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_split_partition_property(labels, fraction, seed):
+    y = np.asarray(labels)
+    if np.unique(y).size < 2:
+        y[0] = 1 - y[0]
+        y[1] = 1 - y[1]
+    rng = np.random.default_rng(seed)
+    train, test = stratified_train_test_split(y, fraction, rng)
+    combined = np.sort(np.concatenate([train, test]))
+    assert np.array_equal(combined, np.arange(y.size))
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=6, max_size=100),
+    st.integers(2, 4),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_k_fold_partition_property(labels, n_folds, seed):
+    y = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    seen = []
+    for train, val in stratified_k_fold(y, n_folds, rng):
+        assert len(set(train) & set(val)) == 0
+        seen.extend(val.tolist())
+    assert sorted(seen) == list(range(y.size))

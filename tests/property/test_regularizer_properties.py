@@ -1,0 +1,86 @@
+"""Property-based tests for regularizer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    ElasticNetRegularizer,
+    GMRegularizer,
+    HuberRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+)
+
+weights = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(-10.0, 10.0, allow_nan=False),
+)
+
+strengths = st.floats(0.0, 100.0, allow_nan=False)
+
+
+@given(weights, strengths)
+@settings(max_examples=50, deadline=None)
+def test_penalties_nonnegative_and_zero_at_origin(w, s):
+    for reg in (L1Regularizer(s), L2Regularizer(s),
+                ElasticNetRegularizer(s), HuberRegularizer(s)):
+        assert reg.penalty(w) >= 0.0
+        assert reg.penalty(np.zeros_like(w)) == 0.0
+
+
+@given(weights, strengths)
+@settings(max_examples=50, deadline=None)
+def test_penalties_are_even_functions(w, s):
+    for reg in (L1Regularizer(s), L2Regularizer(s),
+                ElasticNetRegularizer(s), HuberRegularizer(s)):
+        assert np.isclose(reg.penalty(w), reg.penalty(-w), rtol=1e-12)
+
+
+@given(weights, strengths)
+@settings(max_examples=50, deadline=None)
+def test_gradients_point_away_from_origin(w, s):
+    # <grad, w> >= 0 for any symmetric penalty increasing in |w|.
+    for reg in (L1Regularizer(s), L2Regularizer(s),
+                ElasticNetRegularizer(s), HuberRegularizer(s)):
+        assert float(reg.gradient(w) @ w) >= -1e-12
+
+
+@given(weights, strengths, st.floats(1.1, 3.0))
+@settings(max_examples=50, deadline=None)
+def test_penalties_monotone_in_scale(w, s, factor):
+    for reg in (L1Regularizer(s), L2Regularizer(s),
+                ElasticNetRegularizer(s), HuberRegularizer(s)):
+        assert reg.penalty(factor * w) >= reg.penalty(w) - 1e-12
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(2, 50),
+               elements=st.floats(-2.0, 2.0, allow_nan=False)),
+)
+@settings(max_examples=40, deadline=None)
+def test_gm_gradient_finite_and_shaped(w):
+    reg = GMRegularizer(n_dimensions=w.size, weight_init_std=0.1)
+    grad = reg.calc_reg_grad(w)
+    assert grad.shape == w.shape
+    assert np.all(np.isfinite(grad))
+    # g_reg is also an "away from origin" force: <g, w> >= 0.
+    assert float(grad @ w) >= -1e-12
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(4, 50),
+               elements=st.floats(-2.0, 2.0, allow_nan=False)),
+    st.integers(1, 40),
+)
+@settings(max_examples=30, deadline=None)
+def test_gm_em_iterations_keep_valid_mixture(w, n_steps):
+    reg = GMRegularizer(n_dimensions=w.size, weight_init_std=0.1)
+    for it in range(n_steps):
+        reg.update(w, it)
+    assert 1 <= reg.mixture.n_components <= 4
+    assert np.isclose(reg.pi.sum(), 1.0, atol=1e-9)
+    assert np.all(reg.lam > 0)
+    assert np.all(np.isfinite(reg.lam))

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_all_experiments():
+    parser = build_parser()
+    for name in ("table2", "table4", "table5", "table6", "table7",
+                 "table8", "fig3", "fig4", "fig5", "fig6", "fig7", "all"):
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table99"])
+
+
+def test_table2_runs(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "breast-canc" in out
+    assert "ionosphere" in out
+
+
+def test_table7_subset_fast(capsys):
+    assert main(["table7", "--fast", "--datasets", "hepatitis"]) == 0
+    out = capsys.readouterr().out
+    assert "hepatitis" in out
+    assert "GM" in out
+
+
+def test_unknown_dataset_rejected(capsys):
+    assert main(["table7", "--datasets", "mnist"]) == 2
+
+
+def test_fig5_fast_runs(capsys):
+    assert main(["fig5", "--fast", "--epochs", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Im=50" in out
+    assert "baseline" in out
