@@ -9,6 +9,7 @@ M-step is itself costly enough that increasing Ig keeps shaving time
 from conftest import run_once
 
 from repro.experiments import (
+    format_phase_table,
     format_timing_curves,
     run_ig_sweep,
     timing_bench_config,
@@ -25,10 +26,21 @@ def run_experiment():
 def test_fig6_ig_sweep(benchmark, report):
     curves = run_once(benchmark, run_experiment)
     report("=== Figure 6: convergence time per (Ig, Im) ===\n"
-           + format_timing_curves(curves))
+           + format_timing_curves(curves)
+           + "\n\n--- per-phase timers (trainer MetricsRegistry) ---\n"
+           + format_phase_table(curves))
     times = {c.label: c.total_seconds for c in curves}
     # The largest Ig must not be slower than the smallest (within 15%
     # measurement noise on second-scale runs); the broad trend is down.
     assert times["Ig=500&Im=50"] <= times["Ig=50&Im=50"] * 1.15
     for curve in curves:
         assert curve.test_accuracy > 0.2  # well above 10-class chance
+    # Phase timers isolate what Ig actually controls: raising Ig from
+    # 50 to 500 must cut both the number of M-step refreshes and the
+    # M-step phase time, while leaving the E-step count unchanged
+    # (Im is fixed, so the schedule fires the same E-steps).
+    by_label = {c.label: c for c in curves}
+    tight, loose = by_label["Ig=50&Im=50"], by_label["Ig=500&Im=50"]
+    assert tight.estep_refreshes == loose.estep_refreshes
+    assert tight.mstep_refreshes > loose.mstep_refreshes
+    assert tight.phase_seconds["mstep"] > loose.phase_seconds["mstep"]

@@ -25,9 +25,13 @@ The package is organized as the paper's system is:
 ``repro.experiments``
     Configs, runners and table formatting for every table and figure in
     the paper's evaluation section.
+``repro.telemetry``
+    Observability for the training loop: event callbacks, per-phase
+    timers (E-step / gradient / M-step / SGD), a metrics registry and
+    structured JSONL run logs.
 """
 
-from . import core
+from . import core, telemetry
 from .core import (
     ElasticNetRegularizer,
     GaussianMixture,
@@ -45,6 +49,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "telemetry",
     "GaussianMixture",
     "GMRegularizer",
     "GMHyperParams",

@@ -9,6 +9,10 @@ can be regenerated without pytest:
     python -m repro all --fast
 
 ``--fast`` shrinks every experiment to roughly example scale.
+``--telemetry-out run.jsonl`` writes a structured JSONL event log of
+every training run the command performs (per-epoch losses, per-phase
+E-step/M-step timers, GM state) and ``--log-metrics`` prints each run's
+phase-timer summary to stderr; see :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from .experiments import (
     timing_bench_config,
     train_deep,
 )
+from .telemetry import JsonlRunLogger, MetricsSummary, use_callbacks
 
 __all__ = ["main"]
 
@@ -178,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=None,
         help="fig5/6/7 only: override the epoch budget",
     )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write a JSONL telemetry event log (train/epoch/EM-step "
+             "events, per-phase timers, GM state) covering every "
+             "training run the command performs",
+    )
+    parser.add_argument(
+        "--log-metrics", action="store_true",
+        help="print each run's phase-timer/counter summary to stderr",
+    )
     return parser
 
 
@@ -190,9 +205,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown datasets: {unknown}", file=sys.stderr)
             return 2
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"\n===== {name} =====")
-        _COMMANDS[name](args)
+    # Ambient telemetry: every Trainer.fit reached through the experiment
+    # runners picks these callbacks up without any explicit threading.
+    callbacks = []
+    logger = None
+    if args.telemetry_out:
+        logger = JsonlRunLogger(path=args.telemetry_out)
+        callbacks.append(logger)
+    if args.log_metrics:
+        callbacks.append(MetricsSummary())
+    try:
+        with use_callbacks(*callbacks):
+            for name in names:
+                print(f"\n===== {name} =====")
+                _COMMANDS[name](args)
+    finally:
+        if logger is not None:
+            logger.close()
     return 0
 
 

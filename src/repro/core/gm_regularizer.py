@@ -190,6 +190,21 @@ class GMRegularizer(Regularizer):
         """Advance the epoch counter used by the lazy schedule."""
         self._epoch = epoch + 1
 
+    def telemetry_state(self) -> dict:
+        """Current mixture state for telemetry (Fig. 3 observables).
+
+        ``n_components`` is the *effective* component count after the
+        M-step's pruning/merging — the quantity that collapses from
+        ``K = 4`` toward the 1-2 components of Tables IV/V.
+        """
+        return {
+            "pi": [float(p) for p in self.mixture.pi],
+            "lam": [float(l) for l in self.mixture.lam],
+            "n_components": int(self.mixture.n_components),
+            "estep_count": self._n_estep,
+            "mstep_count": self._n_mstep,
+        }
+
     # ------------------------------------------------------------------
     # Introspection helpers used by the experiments and tests
     # ------------------------------------------------------------------

@@ -74,6 +74,17 @@ class Regularizer(abc.ABC):
     def epoch_end(self, epoch: int) -> None:
         """Hook at the end of epoch ``epoch`` (0-based); default no-op."""
 
+    def telemetry_state(self) -> dict:
+        """JSON-serializable snapshot of any *adaptive* internal state.
+
+        The telemetry subsystem (:mod:`repro.telemetry`) calls this to
+        record how a regularizer evolves during training.  Fixed-form
+        penalties have no evolving state and return ``{}``; the GM
+        regularizer reports its current ``pi``/``lambda``, component
+        count and EM counters (the Fig. 3 observables).
+        """
+        return {}
+
 
 class NoRegularizer(Regularizer):
     """The unregularized baseline (first row of Table VI)."""

@@ -140,6 +140,18 @@ class DeepResult:
     layer_mixtures: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(
         default_factory=dict
     )  # weight name -> (pi, lam)
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+    # ^ MetricsRegistry.snapshot() of the run: per-phase timers
+    #   (phase/estep, phase/grad, phase/mstep, phase/sgd), counters and
+    #   the em/*_refreshes gauges — what Figs. 5-7 read.
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """``{phase: total_seconds}`` from the run's metrics snapshot."""
+        return {
+            name[len("phase/"):]: timer["total_seconds"]
+            for name, timer in self.metrics.get("timers", {}).items()
+            if name.startswith("phase/")
+        }
 
 
 def load_image_data(config: DeepRunConfig) -> ImageDataset:
@@ -212,6 +224,7 @@ def train_deep(
     init_method: str = "linear",
     schedule: Optional[LazyUpdateSchedule] = None,
     data: Optional[ImageDataset] = None,
+    callbacks=None,
 ) -> DeepResult:
     """Train one model under one regularization mode.
 
@@ -224,6 +237,9 @@ def train_deep(
     data:
         Pre-generated dataset to share across methods (else generated
         from the config).
+    callbacks:
+        Optional :class:`~repro.telemetry.events.Callback` observers
+        forwarded to :meth:`Trainer.fit`.
     """
     if method not in ("none", "l2", "gm"):
         raise ValueError(f"method must be none/l2/gm, got {method!r}")
@@ -251,6 +267,7 @@ def train_deep(
         epochs=config.epochs,
         rng=np.random.default_rng(config.seed + 1),
         augment=augment,
+        callbacks=callbacks,
     )
     test_acc = float(np.mean(model.predict(data.x_test) == data.y_test))
     train_acc = float(np.mean(model.predict(data.x_train) == data.y_train))
@@ -265,6 +282,7 @@ def train_deep(
         train_accuracy=train_acc,
         history=history,
         layer_mixtures=mixtures,
+        metrics=trainer.metrics.snapshot(),
     )
 
 

@@ -19,7 +19,7 @@ the *ratios*, not the absolute seconds, are the reproduction target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +33,7 @@ __all__ = [
     "run_im_sweep",
     "run_ig_sweep",
     "run_warmup_sweep",
+    "format_phase_table",
     "speedup_table",
 ]
 
@@ -55,24 +56,43 @@ def timing_bench_config(**overrides) -> DeepRunConfig:
 
 @dataclass(frozen=True)
 class TimingCurve:
-    """Per-epoch cumulative seconds for one setting, plus the endpoint."""
+    """Per-epoch cumulative seconds for one setting, plus the endpoint.
+
+    Carries the run's per-phase timer totals (``phase_seconds``, from
+    the trainer's :class:`~repro.telemetry.metrics.MetricsRegistry`) and
+    the cumulative E-/M-step refresh counts, so sweeps can attribute
+    savings to the phase the lazy schedule actually skipped instead of
+    inferring them from whole-run wall-clock.
+    """
 
     label: str
     epochs: np.ndarray
     cumulative_seconds: np.ndarray
     total_seconds: float
     test_accuracy: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    estep_refreshes: int = 0
+    mstep_refreshes: int = 0
 
     @classmethod
     def from_result(cls, label: str, result: DeepResult) -> "TimingCurve":
         times = result.history.cumulative_times()
+        gauges = result.metrics.get("gauges", {})
         return cls(
             label=label,
             epochs=np.arange(1, times.size + 1),
             cumulative_seconds=times,
             total_seconds=float(times[-1]) if times.size else 0.0,
             test_accuracy=result.test_accuracy,
+            phase_seconds=result.phase_seconds(),
+            estep_refreshes=int(gauges.get("em/estep_refreshes") or 0),
+            mstep_refreshes=int(gauges.get("em/mstep_refreshes") or 0),
         )
+
+    def em_seconds(self) -> float:
+        """Total time in the regularizer phases (E-step + M-step)."""
+        return (self.phase_seconds.get("estep", 0.0)
+                + self.phase_seconds.get("mstep", 0.0))
 
 
 def run_im_sweep(
@@ -135,6 +155,30 @@ def run_warmup_sweep(
         result = train_deep(config, method="l2", data=data)
         curves.append(TimingCurve.from_result("baseline", result))
     return curves
+
+
+def format_phase_table(curves: Sequence[TimingCurve]) -> str:
+    """Per-phase timer breakdown for a sweep (seconds per phase).
+
+    The direct Figs. 5-7 measurement: E-step/M-step cost per setting
+    from the trainer's phase timers, next to the refresh counts the
+    lazy schedule allowed.
+    """
+    from .tables import format_table
+
+    phases = ("estep", "grad", "mstep", "sgd")
+    rows = []
+    for curve in curves:
+        rows.append(
+            [curve.label]
+            + [f"{curve.phase_seconds.get(p, 0.0):.2f}s" for p in phases]
+            + [str(curve.estep_refreshes), str(curve.mstep_refreshes)]
+        )
+    return format_table(
+        ["Setting", "E-step", "grad", "M-step", "SGD",
+         "#E-steps", "#M-steps"],
+        rows,
+    )
 
 
 def speedup_table(curves: Sequence[TimingCurve]) -> Dict[str, Tuple[float, float]]:

@@ -1,8 +1,15 @@
-"""Save/load network weights as ``.npz`` archives.
+"""Save/load model weights as ``.npz`` archives.
 
 Parameters are addressed by their qualified names (``conv1/weight``),
 so a checkpoint is robust to adding or reordering *unparameterized*
 layers but intentionally strict about parameter shapes.
+
+The functions only require a ``parameters()`` method returning named
+:class:`~repro.optim.trainer.Parameter` objects, so they work for any
+:class:`~repro.optim.trainer.TrainableModel` — :class:`Network`,
+logistic regression, or a custom model — which is what lets
+:class:`~repro.telemetry.callbacks.CheckpointCallback` delegate here
+for every trainer.
 """
 
 from __future__ import annotations
@@ -11,21 +18,19 @@ from typing import Dict
 
 import numpy as np
 
-from .network import Network
-
 __all__ = ["network_state_dict", "load_network_state_dict",
            "save_network", "load_network_weights"]
 
 
-def network_state_dict(network: Network) -> Dict[str, np.ndarray]:
+def network_state_dict(model) -> Dict[str, np.ndarray]:
     """``{qualified_name: array copy}`` of all trainable parameters."""
-    return {p.name: p.value.copy() for p in network.parameters()}
+    return {p.name: p.value.copy() for p in model.parameters()}
 
 
 def load_network_state_dict(
-    network: Network, state: Dict[str, np.ndarray], strict: bool = True
+    model, state: Dict[str, np.ndarray], strict: bool = True
 ) -> None:
-    """Copy arrays from ``state`` into the network's parameters in place.
+    """Copy arrays from ``state`` into the model's parameters in place.
 
     Parameters
     ----------
@@ -33,7 +38,7 @@ def load_network_state_dict(
         When True (default), missing or extra names raise; when False,
         only names present on both sides are loaded.
     """
-    own = {p.name: p.value for p in network.parameters()}
+    own = {p.name: p.value for p in model.parameters()}
     missing = sorted(set(own) - set(state))
     extra = sorted(set(state) - set(own))
     if strict and (missing or extra):
@@ -52,16 +57,16 @@ def load_network_state_dict(
         target[...] = value
 
 
-def save_network(network: Network, path: str) -> None:
+def save_network(model, path: str) -> None:
     """Write all parameters to ``path`` (.npz).
 
     Qualified names contain ``/``, which ``np.savez`` keys handle fine.
     """
-    np.savez(path, **network_state_dict(network))
+    np.savez(path, **network_state_dict(model))
 
 
-def load_network_weights(network: Network, path: str, strict: bool = True) -> None:
-    """Load parameters written by :func:`save_network` into ``network``."""
+def load_network_weights(model, path: str, strict: bool = True) -> None:
+    """Load parameters written by :func:`save_network` into ``model``."""
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
-    load_network_state_dict(network, state, strict=strict)
+    load_network_state_dict(model, state, strict=strict)

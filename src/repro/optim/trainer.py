@@ -20,21 +20,39 @@ ordering is followed:
 4. *SGD step*: the optimizer applies the combined gradient.
 
 The same loop trains logistic regression and the deep networks; the
-model only has to satisfy :class:`TrainableModel`.  The trainer records
-a per-epoch :class:`EpochRecord` (loss, wall-clock time, optional
-validation accuracy), which is what the timing figures (Figs. 5-7) are
-built from.
+model only has to satisfy :class:`TrainableModel`.
+
+**Observability.**  Each of the four phases above runs inside a named
+phase timer of the trainer's :class:`~repro.telemetry.metrics.MetricsRegistry`
+(``phase/estep``, ``phase/grad``, ``phase/mstep``, ``phase/sgd``), so
+the lazy-update savings of Figs. 5-7 are directly measurable per phase
+rather than inferred from whole-epoch wall-clock.  ``fit`` additionally
+accepts :class:`~repro.telemetry.events.Callback` observers which are
+fired around epochs/batches/EM-steps without changing the Algorithm 2
+ordering — telemetry reads state the loop already produced, so enabling
+it leaves the losses bit-identical.  All timing (including the per-epoch
+:class:`EpochRecord`) uses an injectable clock, making timing-dependent
+tests deterministic.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from ..core.regularizers import Regularizer
+from ..telemetry.events import (
+    BatchInfo,
+    Callback,
+    CallbackList,
+    EMStepInfo,
+    RunContext,
+)
+from ..telemetry.metrics import MetricsRegistry, PhaseTimer
+from ..telemetry.runtime import default_callbacks
 from .schedules import ConstantLR, LRSchedule
 from .sgd import SGD
 
@@ -112,6 +130,10 @@ class TrainingHistory:
         return np.asarray([r.cumulative_seconds for r in self.records])
 
 
+#: The Algorithm 2 phases, timed separately as ``phase/<name>``.
+PHASES = ("estep", "grad", "mstep", "sgd")
+
+
 class Trainer:
     """Mini-batch SGD + interleaved EM (Algorithms 1 and 2).
 
@@ -135,6 +157,16 @@ class Trainer:
     patience:
         Consecutive low-improvement epochs required to declare
         convergence.
+    clock:
+        Monotonic time source used for every duration this trainer
+        records (epoch records and phase timers).  Injectable so tests
+        can use a fake clock instead of sleeping; defaults to
+        :func:`time.perf_counter`.
+    metrics:
+        The :class:`~repro.telemetry.metrics.MetricsRegistry` receiving
+        phase timers and counters.  A fresh registry (sharing ``clock``)
+        is created when omitted.  The registry is reset at the start of
+        every :meth:`fit`.
     """
 
     def __init__(
@@ -146,6 +178,8 @@ class Trainer:
         shuffle: bool = True,
         convergence_tol: Optional[float] = None,
         patience: int = 3,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -158,6 +192,8 @@ class Trainer:
         self.shuffle = bool(shuffle)
         self.convergence_tol = convergence_tol
         self.patience = int(patience)
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry(clock=clock)
         self._iteration = 0
         self._reg_scale = 1.0
 
@@ -171,6 +207,7 @@ class Trainer:
         x_val: Optional[np.ndarray] = None,
         y_val: Optional[np.ndarray] = None,
         augment=None,
+        callbacks: Optional[Sequence[Callback]] = None,
     ) -> TrainingHistory:
         """Train for up to ``epochs`` epochs (early-stops on convergence).
 
@@ -187,6 +224,14 @@ class Trainer:
         augment:
             Optional callable ``(batch, rng) -> batch`` applied to each
             mini-batch (the ResNet pad-crop/flip augmentation).
+        callbacks:
+            :class:`~repro.telemetry.events.Callback` observers.  Any
+            ambient callbacks installed through
+            :func:`repro.telemetry.runtime.use_callbacks` are appended
+            automatically.  Callbacks never alter the computation; a
+            callback may request an early stop via
+            :meth:`~repro.telemetry.events.RunContext.request_stop`,
+            honoured at the end of the epoch.
         """
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
@@ -202,14 +247,34 @@ class Trainer:
             [p.value for p in params], lr=self.schedule.lr_at(0), momentum=self.momentum
         )
 
+        self.metrics.reset()
+        cbs = CallbackList(list(callbacks or ()) + list(default_callbacks()))
+        ctx = RunContext(
+            model=self.model,
+            parameters=params,
+            metrics=self.metrics,
+            n_samples=n,
+            batch_size=self.batch_size,
+            max_epochs=epochs,
+        )
+        emit_em = cbs.wants_em_step
+        emit_batch = cbs.wants_batch_end
+        timers = {phase: self.metrics.timer(f"phase/{phase}") for phase in PHASES}
+        batch_counter = self.metrics.counter("train/batches")
+        epoch_counter = self.metrics.counter("train/epochs")
+        loss_hist = self.metrics.histogram("train/epoch_loss")
+
         history = TrainingHistory()
         previous_loss: Optional[float] = None
         stall = 0
-        start = time.perf_counter()
+        start = self.clock()
 
+        cbs.on_train_start(ctx)
         for epoch in range(epochs):
             optimizer.set_lr(self.schedule.lr_at(epoch))
-            epoch_start = time.perf_counter()
+            self.metrics.gauge("train/lr").set(optimizer.lr)
+            cbs.on_epoch_start(epoch, ctx)
+            epoch_start = self.clock()
             order = rng.permutation(n) if self.shuffle else np.arange(n)
             epoch_loss = 0.0
             n_batches = 0
@@ -218,27 +283,47 @@ class Trainer:
                 xb, yb = x[batch], y[batch]
                 if augment is not None:
                     xb = augment(xb, rng)
-                epoch_loss += self._train_step(params, optimizer, xb, yb)
+                iteration = self._iteration
+                loss = self._train_step(
+                    params, optimizer, xb, yb, timers,
+                    cbs if emit_em else None, ctx, epoch,
+                )
+                epoch_loss += loss
+                batch_counter.inc()
+                if emit_batch:
+                    cbs.on_batch_end(
+                        BatchInfo(
+                            epoch=epoch,
+                            batch_index=n_batches,
+                            iteration=iteration,
+                            size=xb.shape[0],
+                            loss=loss,
+                        ),
+                        ctx,
+                    )
                 n_batches += 1
             epoch_loss /= max(n_batches, 1)
+            epoch_counter.inc()
+            loss_hist.observe(epoch_loss)
 
             for param in params:
                 if param.regularizer is not None:
                     param.regularizer.epoch_end(epoch)
+            self._record_em_totals(params)
 
-            now = time.perf_counter()
+            now = self.clock()
             val_acc = None
             if x_val is not None and y_val is not None:
                 val_acc = float(np.mean(self.model.predict(x_val) == y_val))
-            history.records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    train_loss=epoch_loss,
-                    elapsed_seconds=now - epoch_start,
-                    cumulative_seconds=now - start,
-                    val_accuracy=val_acc,
-                )
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=epoch_loss,
+                elapsed_seconds=now - epoch_start,
+                cumulative_seconds=now - start,
+                val_accuracy=val_acc,
             )
+            history.records.append(record)
+            cbs.on_epoch_end(record, ctx)
 
             if self.convergence_tol is not None and previous_loss is not None:
                 scale = max(abs(previous_loss), 1e-12)
@@ -250,7 +335,35 @@ class Trainer:
                     history.converged_epoch = epoch
                     break
             previous_loss = epoch_loss
+            if ctx.stop_requested:
+                break
+        cbs.on_train_end(history, ctx)
         return history
+
+    # ------------------------------------------------------------------
+    def _record_em_totals(self, params: List[Parameter]) -> None:
+        """Publish cumulative E-/M-step refresh counts as gauges.
+
+        Summed across parameters so the Figs. 5-7 benchmarks can verify
+        measured per-phase savings against the schedule's expected
+        refresh fraction.
+        """
+        esteps = msteps = 0
+        seen = False
+        for param in params:
+            reg = param.regularizer
+            if reg is None:
+                continue
+            e = getattr(reg, "estep_count", None)
+            m = getattr(reg, "mstep_count", None)
+            if e is None and m is None:
+                continue
+            seen = True
+            esteps += int(e or 0)
+            msteps += int(m or 0)
+        if seen:
+            self.metrics.gauge("em/estep_refreshes").set(esteps)
+            self.metrics.gauge("em/mstep_refreshes").set(msteps)
 
     # ------------------------------------------------------------------
     def _train_step(
@@ -259,23 +372,60 @@ class Trainer:
         optimizer: SGD,
         xb: np.ndarray,
         yb: np.ndarray,
+        timers: dict[str, PhaseTimer],
+        em_observers: Optional[CallbackList],
+        ctx: RunContext,
+        epoch: int,
     ) -> float:
         """One Algorithm-2 iteration; returns the batch data-misfit loss."""
         it = self._iteration
+        if em_observers is not None:
+            counts_before = [
+                (
+                    getattr(p.regularizer, "estep_count", 0),
+                    getattr(p.regularizer, "mstep_count", 0),
+                )
+                if p.regularizer is not None
+                else (0, 0)
+                for p in params
+            ]
         # E-step (lines 4-7): refresh cached g_reg where due.
-        for param in params:
-            if param.regularizer is not None:
-                param.regularizer.prepare(param.value, it)
+        with timers["estep"]:
+            for param in params:
+                if param.regularizer is not None:
+                    param.regularizer.prepare(param.value, it)
         # Data-misfit gradient g_ll plus regularizer gradient (Eq. (10)).
-        loss, grads = self.model.loss_and_gradients(xb, yb)
-        for param, grad in zip(params, grads):
-            if param.regularizer is not None:
-                grad += self._reg_scale * param.regularizer.gradient(param.value)
+        with timers["grad"]:
+            loss, grads = self.model.loss_and_gradients(xb, yb)
+            for param, grad in zip(params, grads):
+                if param.regularizer is not None:
+                    grad += self._reg_scale * param.regularizer.gradient(param.value)
         # M-step (lines 9-11): update pi/lambda where due.
-        for param in params:
-            if param.regularizer is not None:
-                param.regularizer.update(param.value, it)
+        with timers["mstep"]:
+            for param in params:
+                if param.regularizer is not None:
+                    param.regularizer.update(param.value, it)
         # SGD step (line 12).
-        optimizer.step(grads)
+        with timers["sgd"]:
+            optimizer.step(grads)
+        if em_observers is not None:
+            for param, (e0, m0) in zip(params, counts_before):
+                reg = param.regularizer
+                if reg is None:
+                    continue
+                did_estep = getattr(reg, "estep_count", 0) > e0
+                did_mstep = getattr(reg, "mstep_count", 0) > m0
+                if did_estep or did_mstep:
+                    em_observers.on_em_step(
+                        EMStepInfo(
+                            epoch=epoch,
+                            iteration=it,
+                            param_name=param.name,
+                            did_estep=did_estep,
+                            did_mstep=did_mstep,
+                            state=reg.telemetry_state(),
+                        ),
+                        ctx,
+                    )
         self._iteration = it + 1
         return loss

@@ -1,0 +1,72 @@
+"""Telemetry: event hooks, phase timers, metrics and structured run logs.
+
+The paper's contribution is measured in *time* — the lazy-update
+schedule exists to cut the E-step/M-step cost (Figs. 5-7) and the
+learned GM evolves during training (Fig. 3) — so this subsystem makes
+both first-class observables of the Algorithm 1/2 training loop:
+
+:mod:`repro.telemetry.events`
+    :class:`Callback`/:class:`CallbackList` — the hook protocol the
+    trainer fires (train/epoch/batch/EM-step events) without altering
+    the Algorithm 2 ordering.
+:mod:`repro.telemetry.metrics`
+    :class:`MetricsRegistry` — counters, gauges, histograms and named
+    phase timers with an injectable clock; the trainer times the
+    E-step, gradient, M-step and SGD phases separately.
+:mod:`repro.telemetry.callbacks`
+    Built-ins: :class:`JsonlRunLogger`, :class:`GMStateRecorder`,
+    :class:`EarlyStopping`, :class:`CheckpointCallback`,
+    :class:`ProgressReporter`, :class:`MetricsSummary`.
+:mod:`repro.telemetry.export`
+    ``BENCH_*.json``-shaped serialization of a run's metrics.
+:mod:`repro.telemetry.runtime`
+    Ambient default callbacks (``use_callbacks``) so drivers like the
+    CLI can instrument trainers they never construct directly.
+
+Telemetry is passive: with no callbacks registered the trainer's
+numerical behaviour is unchanged, and with callbacks registered the
+losses remain bit-identical — observers only read state the loop
+already produced.
+"""
+
+from .callbacks import (
+    CheckpointCallback,
+    EarlyStopping,
+    GMStateRecorder,
+    JsonlRunLogger,
+    MetricsSummary,
+    ProgressReporter,
+)
+from .events import BatchInfo, Callback, CallbackList, EMStepInfo, RunContext
+from .export import bench_filename, bench_payload, write_bench_json
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, PhaseTimer
+from .runtime import default_callbacks, use_callbacks
+
+__all__ = [
+    # events
+    "Callback",
+    "CallbackList",
+    "RunContext",
+    "BatchInfo",
+    "EMStepInfo",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimer",
+    # callbacks
+    "JsonlRunLogger",
+    "GMStateRecorder",
+    "EarlyStopping",
+    "CheckpointCallback",
+    "ProgressReporter",
+    "MetricsSummary",
+    # export
+    "bench_payload",
+    "bench_filename",
+    "write_bench_json",
+    # runtime
+    "default_callbacks",
+    "use_callbacks",
+]

@@ -1,0 +1,416 @@
+"""Built-in callbacks: run logging, GM-state recording, early stopping,
+checkpointing and progress reporting.
+
+These cover the observability needs of the paper's evaluation section:
+
+- :class:`JsonlRunLogger` writes a structured, append-only event log
+  (one JSON object per line) from which a run can be reconstructed —
+  per-epoch losses, per-phase E-/M-step timings and the learned GM
+  state, per-EM-step activity.
+- :class:`GMStateRecorder` snapshots each layer's ``pi``/``lambda`` and
+  effective component count per epoch, reproducing the Fig. 3
+  trajectories without touching the training loop.
+- :class:`EarlyStopping` generalizes the trainer's built-in
+  convergence test to any monitored quantity.
+- :class:`CheckpointCallback` persists model weights through
+  :mod:`repro.nn.checkpoint`.
+- :class:`ProgressReporter` prints a human-readable line per epoch.
+- :class:`MetricsSummary` prints the final phase-timer/counter summary
+  (what ``python -m repro --log-metrics`` shows).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, Any, Dict, List, Optional
+
+import numpy as np
+
+from .events import BatchInfo, Callback, EMStepInfo, RunContext
+
+__all__ = [
+    "JsonlRunLogger",
+    "GMStateRecorder",
+    "EarlyStopping",
+    "CheckpointCallback",
+    "ProgressReporter",
+    "MetricsSummary",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays for ``json.dumps``."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class JsonlRunLogger(Callback):
+    """Structured run log: one JSON object per line.
+
+    Event kinds (all carry ``run`` — a 0-based index incremented on each
+    ``on_train_start``, so sweeps sharing one logger stay separable —
+    and ``timestamp`` from the injectable wall clock):
+
+    - ``train_start``: run shape (samples, batch size, epoch budget).
+    - ``em_step``: which parameter refreshed its E- and/or M-step at
+      which iteration (suppressed with ``log_em_steps=False``).
+    - ``epoch_end``: loss, validation accuracy, wall-clock seconds,
+      cumulative per-phase timer totals and each adaptive regularizer's
+      state — enough to recover the Fig. 3 ``pi``/``lambda`` trajectory
+      and the Figs. 5-7 per-phase costs from the log alone.
+    - ``train_end``: epoch count and the full metrics snapshot.
+
+    Timing and timestamp fields are the only nondeterministic content:
+    two seeded runs produce identical logs modulo the keys
+    ``timestamp``, ``elapsed_seconds``, ``cumulative_seconds``,
+    ``total_seconds``, ``phases`` and ``metrics`` (see
+    ``tests/telemetry/test_determinism.py``).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+        wall_clock=time.time,
+        log_em_steps: bool = True,
+        log_batches: bool = False,
+    ):
+        if (path is None) == (stream is None):
+            raise ValueError("provide exactly one of path= or stream=")
+        self._own_stream = stream is None
+        self._stream: Optional[IO[str]] = (
+            open(path, "w", encoding="utf-8") if path is not None else stream
+        )
+        self.path = path
+        self.wall_clock = wall_clock
+        self.log_em_steps = bool(log_em_steps)
+        self.log_batches = bool(log_batches)
+        self._run = -1
+
+    # -- plumbing -----------------------------------------------------
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self._stream is None:
+            raise RuntimeError("JsonlRunLogger is closed")
+        event = dict(event)
+        event["timestamp"] = self.wall_clock()
+        self._stream.write(json.dumps(_jsonable(event), sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._own_stream and self._stream is not None:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "JsonlRunLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @staticmethod
+    def _gm_states(ctx: RunContext) -> Dict[str, Dict[str, Any]]:
+        states = {}
+        for param in ctx.parameters:
+            if param.regularizer is None:
+                continue
+            state = param.regularizer.telemetry_state()
+            if state:
+                states[param.name] = state
+        return states
+
+    # -- hooks --------------------------------------------------------
+    def on_train_start(self, ctx: RunContext) -> None:
+        self._run += 1
+        self._emit({
+            "event": "train_start",
+            "run": self._run,
+            "n_samples": ctx.n_samples,
+            "batch_size": ctx.batch_size,
+            "max_epochs": ctx.max_epochs,
+            "n_parameters": len(ctx.parameters),
+            **({"extra": ctx.extra} if ctx.extra else {}),
+        })
+
+    def on_batch_end(self, info: BatchInfo, ctx: RunContext) -> None:
+        if not self.log_batches:
+            return
+        self._emit({
+            "event": "batch_end",
+            "run": self._run,
+            "epoch": info.epoch,
+            "batch_index": info.batch_index,
+            "iteration": info.iteration,
+            "size": info.size,
+            "loss": info.loss,
+        })
+
+    def on_em_step(self, info: EMStepInfo, ctx: RunContext) -> None:
+        if not self.log_em_steps:
+            return
+        self._emit({
+            "event": "em_step",
+            "run": self._run,
+            "epoch": info.epoch,
+            "iteration": info.iteration,
+            "param": info.param_name,
+            "estep": info.did_estep,
+            "mstep": info.did_mstep,
+        })
+
+    def on_epoch_end(self, record, ctx: RunContext) -> None:
+        self._emit({
+            "event": "epoch_end",
+            "run": self._run,
+            "epoch": record.epoch,
+            "train_loss": record.train_loss,
+            "val_accuracy": record.val_accuracy,
+            "elapsed_seconds": record.elapsed_seconds,
+            "cumulative_seconds": record.cumulative_seconds,
+            "phases": ctx.metrics.phase_seconds(),
+            "gm_state": self._gm_states(ctx),
+        })
+
+    def on_train_end(self, history, ctx: RunContext) -> None:
+        self._emit({
+            "event": "train_end",
+            "run": self._run,
+            "epochs_run": len(history.records),
+            "converged_epoch": history.converged_epoch,
+            "total_seconds": history.total_seconds,
+            "metrics": ctx.metrics.snapshot(),
+        })
+
+
+class GMStateRecorder(Callback):
+    """Per-epoch snapshots of each adaptive regularizer's GM state.
+
+    ``trajectory`` maps parameter name to a list of snapshot dicts
+    (``epoch``, ``pi``, ``lam``, ``n_components``, EM counters); epoch
+    ``-1`` is the pre-training initialization, so the recorded series
+    is exactly a Fig. 3 trajectory: how the mixture evolves from its
+    ``K = 4`` initialization toward the 1-2 surviving components of
+    Tables IV/V.
+    """
+
+    def __init__(self):
+        self.trajectory: Dict[str, List[Dict[str, Any]]] = {}
+
+    def _record(self, epoch: int, ctx: RunContext) -> None:
+        for param in ctx.parameters:
+            if param.regularizer is None:
+                continue
+            state = param.regularizer.telemetry_state()
+            if not state or "pi" not in state:
+                continue
+            snapshot = {"epoch": epoch}
+            snapshot.update(_jsonable(state))
+            self.trajectory.setdefault(param.name, []).append(snapshot)
+
+    def on_train_start(self, ctx: RunContext) -> None:
+        self._record(-1, ctx)
+
+    def on_epoch_end(self, record, ctx: RunContext) -> None:
+        self._record(record.epoch, ctx)
+
+    def pi_series(self, param_name: str) -> List[List[float]]:
+        """The recorded ``pi`` vectors for one parameter, in epoch order."""
+        return [snap["pi"] for snap in self.trajectory[param_name]]
+
+    def lam_series(self, param_name: str) -> List[List[float]]:
+        """The recorded ``lambda`` vectors for one parameter, in epoch order."""
+        return [snap["lam"] for snap in self.trajectory[param_name]]
+
+    def as_dict(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-serializable copy of the full trajectory."""
+        return {name: list(snaps) for name, snaps in self.trajectory.items()}
+
+
+class EarlyStopping(Callback):
+    """Stop training when a monitored quantity stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        ``"train_loss"`` (minimized) or ``"val_accuracy"`` (maximized).
+    min_delta:
+        Smallest change in the monitored value that counts as an
+        improvement.
+    patience:
+        Number of consecutive non-improving epochs tolerated before
+        :meth:`RunContext.request_stop` is called.
+    """
+
+    _MODES = {"train_loss": -1.0, "val_accuracy": +1.0}
+
+    def __init__(self, monitor: str = "train_loss", min_delta: float = 0.0,
+                 patience: int = 3):
+        if monitor not in self._MODES:
+            raise ValueError(
+                f"monitor must be one of {sorted(self._MODES)}, got {monitor!r}"
+            )
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be >= 0, got {min_delta}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.monitor = monitor
+        self.min_delta = float(min_delta)
+        self.patience = int(patience)
+        self._sign = self._MODES[monitor]
+        self.best: Optional[float] = None
+        self.stopped_epoch: Optional[int] = None
+        self._stall = 0
+
+    def on_train_start(self, ctx: RunContext) -> None:
+        self.best = None
+        self.stopped_epoch = None
+        self._stall = 0
+
+    def on_epoch_end(self, record, ctx: RunContext) -> None:
+        value = getattr(record, self.monitor)
+        if value is None:
+            raise ValueError(
+                f"EarlyStopping monitors {self.monitor!r} but the epoch "
+                "record has no such value (pass x_val/y_val to fit?)"
+            )
+        value = float(value)
+        if self.best is None or self._sign * (value - self.best) > self.min_delta:
+            self.best = value
+            self._stall = 0
+            return
+        self._stall += 1
+        if self._stall >= self.patience:
+            self.stopped_epoch = record.epoch
+            ctx.request_stop()
+
+
+class CheckpointCallback(Callback):
+    """Persist model weights through :mod:`repro.nn.checkpoint`.
+
+    Parameters
+    ----------
+    path_template:
+        Target path; may reference ``{epoch}`` (e.g.
+        ``"run/ckpt_{epoch:03d}.npz"``).  Without a placeholder the same
+        file is overwritten, keeping only the most recent checkpoint.
+    every:
+        Save every ``every`` epochs (final epoch always saved).
+    save_best_only:
+        When True, save only when ``monitor`` improves.
+    monitor:
+        ``"train_loss"`` or ``"val_accuracy"``; used by
+        ``save_best_only``.
+    """
+
+    def __init__(self, path_template: str, every: int = 1,
+                 save_best_only: bool = False, monitor: str = "train_loss"):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if monitor not in EarlyStopping._MODES:
+            raise ValueError(
+                f"monitor must be one of {sorted(EarlyStopping._MODES)}, "
+                f"got {monitor!r}"
+            )
+        self.path_template = path_template
+        self.every = int(every)
+        self.save_best_only = bool(save_best_only)
+        self.monitor = monitor
+        self._sign = EarlyStopping._MODES[monitor]
+        self.best: Optional[float] = None
+        self.saved_paths: List[str] = []
+
+    def _save(self, epoch: int, ctx: RunContext) -> None:
+        from ..nn.checkpoint import save_network  # lazy: avoids import cycle
+
+        path = self.path_template.format(epoch=epoch)
+        save_network(ctx.model, path)
+        self.saved_paths.append(path)
+
+    def on_epoch_end(self, record, ctx: RunContext) -> None:
+        if self.save_best_only:
+            value = getattr(record, self.monitor)
+            if value is None:
+                raise ValueError(
+                    f"CheckpointCallback monitors {self.monitor!r} but the "
+                    "epoch record has no such value"
+                )
+            value = float(value)
+            if self.best is not None and self._sign * (value - self.best) <= 0:
+                return
+            self.best = value
+        elif (record.epoch + 1) % self.every != 0:
+            return
+        self._save(record.epoch, ctx)
+
+    def on_train_end(self, history, ctx: RunContext) -> None:
+        if self.save_best_only or not history.records:
+            return
+        last = history.records[-1].epoch
+        if (last + 1) % self.every != 0:  # not already saved above
+            self._save(last, ctx)
+
+
+class ProgressReporter(Callback):
+    """Human-readable one-line-per-epoch progress (default: stderr)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None, every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.stream = stream
+        self.every = int(every)
+
+    def _out(self) -> IO[str]:
+        return self.stream if self.stream is not None else sys.stderr
+
+    def on_epoch_end(self, record, ctx: RunContext) -> None:
+        if (record.epoch + 1) % self.every != 0:
+            return
+        val = (
+            f" val_acc={record.val_accuracy:.4f}"
+            if record.val_accuracy is not None else ""
+        )
+        print(
+            f"epoch {record.epoch + 1}/{ctx.max_epochs} "
+            f"loss={record.train_loss:.6f}{val} "
+            f"({record.elapsed_seconds:.2f}s)",
+            file=self._out(),
+        )
+
+    def on_train_end(self, history, ctx: RunContext) -> None:
+        tag = (
+            f"converged at epoch {history.converged_epoch}"
+            if history.converged_epoch is not None
+            else f"{len(history.records)} epochs"
+        )
+        print(f"training done: {tag}, {history.total_seconds:.2f}s total",
+              file=self._out())
+
+
+class MetricsSummary(Callback):
+    """Print the per-phase timer/counter summary when training ends."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream
+
+    def on_train_end(self, history, ctx: RunContext) -> None:
+        out = self.stream if self.stream is not None else sys.stderr
+        snapshot = ctx.metrics.snapshot()
+        print("--- metrics ---", file=out)
+        phases = ctx.metrics.phase_seconds()
+        total = sum(phases.values())
+        for name, seconds in sorted(phases.items()):
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            print(f"phase/{name:8s} {seconds:10.4f}s  {share:5.1f}%", file=out)
+        for name, value in sorted(snapshot["counters"].items()):
+            print(f"counter {name} = {value:g}", file=out)
+        for name, value in sorted(snapshot["gauges"].items()):
+            if value is not None:
+                print(f"gauge {name} = {value:g}", file=out)

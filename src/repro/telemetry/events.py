@@ -1,0 +1,207 @@
+"""Event-driven callback framework for the Algorithm 1/2 training loop.
+
+The trainer emits a fixed sequence of events without changing the
+Algorithm 2 ordering (E-step, gradient, M-step, SGD step)::
+
+    on_train_start
+      on_epoch_start
+        on_batch_end        (once per mini-batch, after the SGD step)
+        on_em_step          (only when an E-/M-step actually executed)
+      on_epoch_end
+    on_train_end
+
+:class:`Callback` is the no-op base class — subclasses override only the
+hooks they care about.  :class:`CallbackList` fans each event out to
+every registered callback in order and precomputes which hooks are
+actually overridden, so a hot loop can skip building event payloads
+nobody listens to (``on_em_step`` fires per parameter per iteration
+during eager epochs, which would otherwise tax exactly the hot path the
+lazy schedule exists to relieve).
+
+All payloads are read-only facts about what already happened; the one
+mutation channel is :meth:`RunContext.request_stop`, which asks the
+trainer to stop at the end of the current epoch (used by
+:class:`~repro.telemetry.callbacks.EarlyStopping`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # avoid a circular import with optim.trainer
+    from ..optim.trainer import (
+        EpochRecord,
+        Parameter,
+        TrainingHistory,
+    )
+    from .metrics import MetricsRegistry
+
+__all__ = [
+    "RunContext",
+    "BatchInfo",
+    "EMStepInfo",
+    "Callback",
+    "CallbackList",
+]
+
+
+@dataclass
+class RunContext:
+    """Facts about the run, shared with every callback on every event.
+
+    Attributes
+    ----------
+    model:
+        The :class:`~repro.optim.trainer.TrainableModel` being trained.
+    parameters:
+        The model's :class:`~repro.optim.trainer.Parameter` list
+        (name, value, regularizer) — how callbacks reach the GM state.
+    metrics:
+        The run's :class:`~repro.telemetry.metrics.MetricsRegistry`
+        holding the phase timers and counters.
+    n_samples, batch_size, max_epochs:
+        Static shape of the run.
+    extra:
+        Free-form annotations (the CLI stores the experiment name here).
+    """
+
+    model: Any
+    parameters: Sequence["Parameter"]
+    metrics: "MetricsRegistry"
+    n_samples: int
+    batch_size: int
+    max_epochs: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+    stop_requested: bool = False
+
+    def request_stop(self) -> None:
+        """Ask the trainer to stop after the current epoch completes."""
+        self.stop_requested = True
+
+
+@dataclass(frozen=True)
+class BatchInfo:
+    """One completed mini-batch iteration."""
+
+    epoch: int
+    batch_index: int
+    iteration: int  # global Algorithm 2 iteration counter ``it``
+    size: int
+    loss: float
+
+
+@dataclass(frozen=True)
+class EMStepInfo:
+    """One parameter's EM activity in one iteration.
+
+    Emitted only when the lazy schedule actually fired — ``did_estep``
+    means ``g_reg`` was recomputed (``calcRegGrad``), ``did_mstep``
+    means ``pi``/``lambda`` were refreshed (``uptGMParam``).  ``state``
+    is the regularizer's :meth:`~repro.core.regularizers.Regularizer.telemetry_state`
+    snapshot taken *after* the step.
+    """
+
+    epoch: int
+    iteration: int
+    param_name: str
+    did_estep: bool
+    did_mstep: bool
+    state: Dict[str, Any] = field(default_factory=dict)
+
+
+class Callback:
+    """Base class: every hook is a no-op; override what you need."""
+
+    def on_train_start(self, ctx: RunContext) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_start(self, epoch: int, ctx: RunContext) -> None:
+        """Called at the top of each epoch, before any mini-batch."""
+
+    def on_batch_end(self, info: BatchInfo, ctx: RunContext) -> None:
+        """Called after each mini-batch's SGD step."""
+
+    def on_em_step(self, info: EMStepInfo, ctx: RunContext) -> None:
+        """Called when a parameter's E- and/or M-step actually ran."""
+
+    def on_epoch_end(self, record: "EpochRecord", ctx: RunContext) -> None:
+        """Called after each epoch's record (loss, times) is complete."""
+
+    def on_train_end(self, history: "TrainingHistory", ctx: RunContext) -> None:
+        """Called once after the last epoch (or early stop)."""
+
+
+_HOOKS = (
+    "on_train_start",
+    "on_epoch_start",
+    "on_batch_end",
+    "on_em_step",
+    "on_epoch_end",
+    "on_train_end",
+)
+
+
+class CallbackList(Callback):
+    """Fans events out to an ordered list of callbacks.
+
+    Also itself a :class:`Callback`, so lists nest.  ``wants_em_step``
+    and ``wants_batch_end`` report whether *any* member overrides the
+    corresponding hook — the trainer uses them to skip payload
+    construction on the per-iteration hot path when nobody listens.
+    """
+
+    def __init__(self, callbacks: Optional[Iterable[Callback]] = None):
+        self.callbacks: List[Callback] = list(callbacks or ())
+        for cb in self.callbacks:
+            if not isinstance(cb, Callback):
+                raise TypeError(f"not a Callback: {cb!r}")
+
+    def _any_overrides(self, hook: str) -> bool:
+        for cb in self.callbacks:
+            method = getattr(type(cb), hook, None)
+            if isinstance(cb, CallbackList):
+                if cb._any_overrides(hook):
+                    return True
+            elif method is not None and method is not getattr(Callback, hook):
+                return True
+        return False
+
+    @property
+    def wants_em_step(self) -> bool:
+        return self._any_overrides("on_em_step")
+
+    @property
+    def wants_batch_end(self) -> bool:
+        return self._any_overrides("on_batch_end")
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def __iter__(self):
+        return iter(self.callbacks)
+
+    # -- fan-out ------------------------------------------------------
+    def on_train_start(self, ctx: RunContext) -> None:
+        for cb in self.callbacks:
+            cb.on_train_start(ctx)
+
+    def on_epoch_start(self, epoch: int, ctx: RunContext) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_start(epoch, ctx)
+
+    def on_batch_end(self, info: BatchInfo, ctx: RunContext) -> None:
+        for cb in self.callbacks:
+            cb.on_batch_end(info, ctx)
+
+    def on_em_step(self, info: EMStepInfo, ctx: RunContext) -> None:
+        for cb in self.callbacks:
+            cb.on_em_step(info, ctx)
+
+    def on_epoch_end(self, record: "EpochRecord", ctx: RunContext) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_end(record, ctx)
+
+    def on_train_end(self, history: "TrainingHistory", ctx: RunContext) -> None:
+        for cb in self.callbacks:
+            cb.on_train_end(history, ctx)

@@ -1,0 +1,299 @@
+"""Metrics registry: counters, gauges, histograms and phase timers.
+
+The paper's headline results are *timing* claims — the lazy-update
+schedule (``Im``, ``Ig``, warm-up ``E``) cuts the regularizer overhead
+roughly 4x (Figs. 5-7) — so the training loop needs a way to attribute
+wall-clock cost to the four phases of Algorithm 2 (E-step, gradient,
+M-step, SGD apply) instead of reporting one opaque per-epoch number.
+
+:class:`MetricsRegistry` is a small, dependency-free instrument panel:
+
+- :class:`Counter` — monotonically increasing totals (batches seen,
+  EM refreshes performed).
+- :class:`Gauge` — last-value-wins observations (current learning
+  rate, effective GM component count).
+- :class:`Histogram` — full sample distributions with summary
+  statistics (per-batch losses, per-epoch times).
+- :class:`PhaseTimer` — named accumulating stopwatches used as context
+  managers around the Algorithm 2 phases.
+
+The registry takes an **injectable clock** (default
+:func:`time.perf_counter`) shared by all its timers, so tests can
+substitute a fake clock and assert exact timings instead of sleeping.
+All state is serializable through :meth:`MetricsRegistry.snapshot`,
+which is what the JSONL run logs and the ``BENCH_*.json`` exporter
+consume.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimer",
+    "MetricsRegistry",
+]
+
+Clock = Callable[[], float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-value-wins observation."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = None
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A sample distribution with summary statistics.
+
+    Samples are kept in full (these are per-epoch/per-batch series of at
+    most a few thousand points, not production traffic), so exact
+    quantiles are available.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.sum / self.count
+
+    @property
+    def min(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return max(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile (nearest-rank) of the observed samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        self.values = []
+
+    def summary(self) -> Dict[str, float]:
+        """Summary statistics dict (``{}`` when no samples yet)."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class PhaseTimer:
+    """An accumulating stopwatch for one named phase.
+
+    Used as a context manager around each Algorithm 2 phase::
+
+        with registry.timer("phase/estep"):
+            regularizer.prepare(w, iteration)
+
+    ``total_seconds`` accumulates across entries; ``count`` is the
+    number of completed timed sections.  The clock is injected by the
+    owning registry so fake clocks make timing tests deterministic.
+    """
+
+    def __init__(self, name: str, clock: Clock):
+        self.name = name
+        self._clock = clock
+        self.total_seconds = 0.0
+        self.count = 0
+        self.last_seconds = 0.0
+        self._started: Optional[float] = None
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} is already running")
+        self._started = self._clock()
+
+    def stop(self) -> float:
+        """Stop the stopwatch; returns and accumulates the elapsed span."""
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} was not started")
+        elapsed = self._clock() - self._started
+        self._started = None
+        self.total_seconds += elapsed
+        self.last_seconds = elapsed
+        self.count += 1
+        return elapsed
+
+    def __enter__(self) -> "PhaseTimer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total_seconds = 0.0
+        self.count = 0
+        self.last_seconds = 0.0
+        self._started = None
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseTimer({self.name!r}, count={self.count}, "
+            f"total_seconds={self.total_seconds:.6f})"
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms and phase timers.
+
+    Instruments are created on first access and shared afterwards, so
+    ``registry.timer("phase/estep")`` in the trainer and in a callback
+    refer to the same accumulating stopwatch.  A name belongs to exactly
+    one instrument kind; reusing it with a different kind raises.
+    """
+
+    def __init__(self, clock: Clock = time.perf_counter):
+        self.clock = clock
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, PhaseTimer] = {}
+
+    # -- instrument accessors -----------------------------------------
+    def counter(self, name: str) -> Counter:
+        self._check_kind(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_kind(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        self._check_kind(name, self._histograms)
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def timer(self, name: str) -> PhaseTimer:
+        self._check_kind(name, self._timers)
+        return self._timers.setdefault(name, PhaseTimer(name, self.clock))
+
+    def _check_kind(self, name: str, expected: Dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms,
+                       self._timers):
+            if family is not expected and name in family:
+                raise TypeError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # -- lifecycle ----------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument (the instruments themselves survive)."""
+        for family in (self._counters, self._gauges, self._histograms,
+                       self._timers):
+            for instrument in family.values():
+                instrument.reset()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-serializable dump of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+            "timers": {n: t.summary() for n, t in sorted(self._timers.items())},
+        }
+
+    def phase_seconds(self, prefix: str = "phase/") -> Dict[str, float]:
+        """``{phase_name: total_seconds}`` for timers under ``prefix``.
+
+        This is the series the Figs. 5-7 benchmarks read: per-phase
+        E-step/M-step cost, directly, instead of inferring it from
+        whole-epoch wall-clock differences.
+        """
+        return {
+            name[len(prefix):]: timer.total_seconds
+            for name, timer in sorted(self._timers.items())
+            if name.startswith(prefix)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"timers={len(self._timers)})"
+        )

@@ -1,0 +1,48 @@
+"""Ambient default callbacks: instrument trainers you don't construct.
+
+The CLI (and any other driver that reaches trainers only through deep
+call stacks like ``run_im_sweep -> train_deep -> Trainer.fit``) needs a
+way to attach telemetry without threading a ``callbacks=`` argument
+through every experiment function.  :func:`use_callbacks` installs
+callbacks into a context-local stack that every ``Trainer.fit`` appends
+to its explicit callback list::
+
+    with use_callbacks(JsonlRunLogger(path="run.jsonl")):
+        run_im_sweep(config)   # every inner fit() is now logged
+
+The stack is context-local (:mod:`contextvars`), so nested scopes and
+concurrent tasks compose; installing a callback never mutates trainer
+state and uninstalling is exception-safe.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, Tuple
+
+from .events import Callback
+
+__all__ = ["default_callbacks", "use_callbacks"]
+
+_DEFAULT_CALLBACKS: ContextVar[Tuple[Callback, ...]] = ContextVar(
+    "repro_default_callbacks", default=()
+)
+
+
+def default_callbacks() -> Tuple[Callback, ...]:
+    """The ambient callbacks every ``Trainer.fit`` should include."""
+    return _DEFAULT_CALLBACKS.get()
+
+
+@contextlib.contextmanager
+def use_callbacks(*callbacks: Callback) -> Iterator[Tuple[Callback, ...]]:
+    """Install ``callbacks`` as ambient defaults within the ``with`` body."""
+    for cb in callbacks:
+        if not isinstance(cb, Callback):
+            raise TypeError(f"not a Callback: {cb!r}")
+    token = _DEFAULT_CALLBACKS.set(_DEFAULT_CALLBACKS.get() + tuple(callbacks))
+    try:
+        yield _DEFAULT_CALLBACKS.get()
+    finally:
+        _DEFAULT_CALLBACKS.reset(token)

@@ -72,3 +72,48 @@ def test_expected_estep_fraction_validates_inputs():
     sched = LazyUpdateSchedule()
     with pytest.raises(ValueError):
         sched.expected_estep_fraction(0, 5)
+
+
+# ----------------------------------------------------------------------
+# Edge cases: interval 1, exact warm-up boundary, coprime Im/Ig
+# ----------------------------------------------------------------------
+def test_interval_one_updates_every_step_even_after_warmup():
+    # Im = Ig = 1 must degenerate to eager Algorithm 1 regardless of E.
+    sched = LazyUpdateSchedule(model_interval=1, gm_interval=1, eager_epochs=2)
+    for epoch in (0, 1, 2, 5, 100):
+        for it in range(25):
+            assert sched.should_update_reg_gradient(it, epoch)
+            assert sched.should_update_gm(it, epoch)
+    assert not sched.is_lazy
+    assert sched.expected_estep_fraction(10, 10) == 1.0
+
+
+def test_warmup_boundary_epoch_exactly_e():
+    # Epochs are 0-based: epoch E-1 is the last eager epoch, epoch E the
+    # first lazy one ("epoch < E" in Algorithm 2 line 4).
+    e = 3
+    sched = LazyUpdateSchedule(model_interval=7, gm_interval=7, eager_epochs=e)
+    assert sched.should_update_reg_gradient(10, epoch=e - 1)
+    assert sched.should_update_gm(10, epoch=e - 1)
+    assert not sched.should_update_reg_gradient(10, epoch=e)
+    assert not sched.should_update_gm(10, epoch=e)
+    # On the interval the lazy epoch still fires.
+    assert sched.should_update_reg_gradient(14, epoch=e)
+    assert sched.should_update_gm(14, epoch=e)
+
+
+def test_coprime_im_ig_interaction():
+    # Im = 3, Ig = 5 (coprime): E- and M-steps coincide only at
+    # iterations divisible by lcm(3, 5) = 15.
+    sched = LazyUpdateSchedule(model_interval=3, gm_interval=5, eager_epochs=0)
+    esteps = {it for it in range(30) if sched.should_update_reg_gradient(it, 1)}
+    msteps = {it for it in range(30) if sched.should_update_gm(it, 1)}
+    assert esteps == {0, 3, 6, 9, 12, 15, 18, 21, 24, 27}
+    assert msteps == {0, 5, 10, 15, 20, 25}
+    assert esteps & msteps == {0, 15}
+    # Neither decision gates the other: an M-step can run on an
+    # iteration whose E-step is skipped (it=5) and vice versa (it=3).
+    assert not sched.should_update_reg_gradient(5, 1)
+    assert sched.should_update_gm(5, 1)
+    assert sched.should_update_reg_gradient(3, 1)
+    assert not sched.should_update_gm(3, 1)

@@ -144,6 +144,61 @@ def test_augment_hook_called(rng):
     assert sum(calls) == 64
 
 
+def test_injectable_clock_drives_epoch_records(rng):
+    # A fake clock advancing 1.0 per read makes every recorded duration
+    # an exact integer -- no sleeping, no tolerance windows.
+    ticks = iter(float(i) for i in range(100_000))
+    x, y = make_data(rng)
+    trainer = Trainer(QuadraticModel(4), lr=0.1, batch_size=16,
+                      clock=lambda: next(ticks))
+    history = trainer.fit(x, y, epochs=3, rng=rng)
+    for record in history.records:
+        assert record.elapsed_seconds == int(record.elapsed_seconds) > 0
+    deltas = np.diff(history.cumulative_times())
+    assert np.all(deltas > 0)
+    # Both epoch records and phase timers use the same injected clock.
+    assert trainer.metrics.clock is not None
+    assert all(v == int(v) for v in trainer.metrics.phase_seconds().values())
+
+
+def test_phase_timers_cover_all_algorithm2_phases(rng):
+    x, y = make_data(rng)
+    trainer = Trainer(QuadraticModel(4), lr=0.1, batch_size=16)
+    trainer.fit(x, y, epochs=2, rng=rng)
+    phases = trainer.metrics.phase_seconds()
+    assert set(phases) == {"estep", "grad", "mstep", "sgd"}
+    # 64/16 = 4 batches x 2 epochs: each phase timed once per batch.
+    assert trainer.metrics.timer("phase/grad").count == 8
+    assert trainer.metrics.counter("train/batches").value == 8
+    assert trainer.metrics.counter("train/epochs").value == 2
+
+
+def test_metrics_reset_between_fits(rng):
+    x, y = make_data(rng)
+    trainer = Trainer(QuadraticModel(4), lr=0.1, batch_size=16)
+    trainer.fit(x, y, epochs=2, rng=rng)
+    trainer.fit(x, y, epochs=1, rng=rng)
+    # Counters reflect only the most recent fit.
+    assert trainer.metrics.counter("train/epochs").value == 1
+    assert trainer.metrics.counter("train/batches").value == 4
+
+
+def test_em_refresh_gauges_published_for_gm_runs(rng):
+    x = rng.normal(size=(80, 10))
+    y = (x[:, 0] > 0).astype(np.int64)
+    reg = GMRegularizer(n_dimensions=10)
+    model = LogisticRegression(10, regularizer=reg, rng=rng)
+    trainer = Trainer(model, lr=0.3, batch_size=16)
+    trainer.fit(x, y, epochs=4, rng=rng)
+    gauges = trainer.metrics.snapshot()["gauges"]
+    assert gauges["em/estep_refreshes"] == reg.estep_count
+    assert gauges["em/mstep_refreshes"] == reg.mstep_count
+    # No GM regularizer -> no EM gauges at all.
+    plain = Trainer(QuadraticModel(4), lr=0.1, batch_size=16)
+    plain.fit(*make_data(rng), epochs=1, rng=rng)
+    assert "em/estep_refreshes" not in plain.metrics.snapshot()["gauges"]
+
+
 def test_shuffle_off_is_deterministic(rng):
     x, y = make_data(rng)
     m1, m2 = QuadraticModel(4), QuadraticModel(4)

@@ -1,0 +1,361 @@
+"""Tests for the callback framework and the built-in callbacks."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GMRegularizer, LazyUpdateSchedule
+from repro.linear import LogisticRegression
+from repro.nn.checkpoint import load_network_weights
+from repro.optim import Parameter, Trainer
+from repro.telemetry import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopping,
+    GMStateRecorder,
+    JsonlRunLogger,
+    MetricsSummary,
+    ProgressReporter,
+    default_callbacks,
+    use_callbacks,
+)
+
+
+class QuadraticModel:
+    """Minimal TrainableModel: loss = 0.5 * ||w - x_mean||^2 per batch."""
+
+    def __init__(self, dim, regularizer=None):
+        self.w = np.zeros(dim)
+        self._params = [Parameter("w", self.w, regularizer)]
+
+    def parameters(self):
+        return self._params
+
+    def loss_and_gradients(self, x, y):
+        target = x.mean(axis=0)
+        diff = self.w - target
+        return 0.5 * float(diff @ diff), [diff.copy()]
+
+    def predict(self, x):
+        return np.zeros(x.shape[0], dtype=np.int64)
+
+
+def make_data(rng, n=64, dim=4):
+    x = rng.normal(size=(n, dim)) + 3.0
+    y = np.zeros(n, dtype=np.int64)
+    return x, y
+
+
+class Recorder(Callback):
+    """Records every hook invocation in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_train_start(self, ctx):
+        self.events.append("train_start")
+
+    def on_epoch_start(self, epoch, ctx):
+        self.events.append(f"epoch_start:{epoch}")
+
+    def on_batch_end(self, info, ctx):
+        self.events.append(f"batch_end:{info.epoch}:{info.batch_index}")
+
+    def on_em_step(self, info, ctx):
+        self.events.append(f"em:{info.iteration}:{info.param_name}")
+
+    def on_epoch_end(self, record, ctx):
+        self.events.append(f"epoch_end:{record.epoch}")
+
+    def on_train_end(self, history, ctx):
+        self.events.append("train_end")
+
+
+# ----------------------------------------------------------------------
+# CallbackList
+# ----------------------------------------------------------------------
+def test_callback_list_fans_out_in_order():
+    a, b = Recorder(), Recorder()
+    cbs = CallbackList([a, b])
+    cbs.on_train_start(None)
+    assert a.events == b.events == ["train_start"]
+
+
+def test_callback_list_wants_flags():
+    assert not CallbackList([]).wants_em_step
+    assert not CallbackList([EarlyStopping()]).wants_em_step
+    assert CallbackList([Recorder()]).wants_em_step
+    assert CallbackList([Recorder()]).wants_batch_end
+    # nesting is seen through
+    nested = CallbackList([CallbackList([Recorder()])])
+    assert nested.wants_em_step
+
+
+def test_callback_list_rejects_non_callbacks():
+    with pytest.raises(TypeError):
+        CallbackList([object()])
+
+
+def test_trainer_fires_full_event_sequence(rng):
+    x, y = make_data(rng, n=32)
+    rec = Recorder()
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=2, rng=rng, callbacks=[rec]
+    )
+    assert rec.events[0] == "train_start"
+    assert rec.events[-1] == "train_end"
+    assert rec.events.count("epoch_start:0") == 1
+    assert rec.events.count("epoch_end:1") == 1
+    # 32/16 = 2 batches per epoch
+    assert rec.events.count("batch_end:0:0") == 1
+    assert rec.events.count("batch_end:0:1") == 1
+    # epoch_start precedes its batches which precede epoch_end
+    assert rec.events.index("epoch_start:0") \
+        < rec.events.index("batch_end:0:0") \
+        < rec.events.index("epoch_end:0")
+
+
+def test_em_step_events_follow_lazy_schedule(rng):
+    x = rng.normal(size=(80, 10))
+    y = (x[:, 0] > 0).astype(np.int64)
+    sched = LazyUpdateSchedule(model_interval=5, gm_interval=10, eager_epochs=1)
+    reg = GMRegularizer(n_dimensions=10, schedule=sched)
+    model = LogisticRegression(10, regularizer=reg, rng=rng)
+    rec = Recorder()
+    Trainer(model, lr=0.3, batch_size=16).fit(
+        x, y, epochs=4, rng=rng, callbacks=[rec]
+    )
+    em_events = [e for e in rec.events if e.startswith("em:")]
+    # Matches the schedule arithmetic from test_trainer: 8 E-steps, of
+    # which 6 coincide with M-steps -- em events fire when either runs.
+    assert len(em_events) == 8
+    assert em_events[0] == "em:0:weights"
+
+
+# ----------------------------------------------------------------------
+# JsonlRunLogger
+# ----------------------------------------------------------------------
+def test_jsonl_logger_event_stream(rng):
+    x, y = make_data(rng, n=32)
+    buf = io.StringIO()
+    logger = JsonlRunLogger(stream=buf, wall_clock=lambda: 123.0,
+                            log_batches=True)
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=2, rng=rng, callbacks=[logger]
+    )
+    events = [json.loads(line) for line in buf.getvalue().splitlines()]
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "train_start"
+    assert kinds[-1] == "train_end"
+    assert kinds.count("epoch_end") == 2
+    assert kinds.count("batch_end") == 4
+    assert all(e["run"] == 0 for e in events)
+    assert all(e["timestamp"] == 123.0 for e in events)
+    start = events[0]
+    assert start["n_samples"] == 32
+    assert start["batch_size"] == 16
+    assert start["max_epochs"] == 2
+    end = events[-1]
+    assert end["epochs_run"] == 2
+    assert end["metrics"]["counters"]["train/batches"] == 4
+    epoch_end = next(e for e in events if e["event"] == "epoch_end")
+    assert set(epoch_end["phases"]) == {"estep", "grad", "mstep", "sgd"}
+
+
+def test_jsonl_logger_increments_run_index(rng):
+    x, y = make_data(rng, n=32)
+    buf = io.StringIO()
+    logger = JsonlRunLogger(stream=buf, wall_clock=lambda: 0.0)
+    for _ in range(2):
+        Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+            x, y, epochs=1, rng=rng, callbacks=[logger]
+        )
+    events = [json.loads(line) for line in buf.getvalue().splitlines()]
+    assert {e["run"] for e in events} == {0, 1}
+
+
+def test_jsonl_logger_path_or_stream_exactly_one(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlRunLogger()
+    with pytest.raises(ValueError):
+        JsonlRunLogger(path=str(tmp_path / "x.jsonl"), stream=io.StringIO())
+
+
+def test_jsonl_logger_writes_file_and_closes(tmp_path, rng):
+    x, y = make_data(rng, n=32)
+    path = tmp_path / "run.jsonl"
+    with JsonlRunLogger(path=str(path)) as logger:
+        Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+            x, y, epochs=1, rng=rng, callbacks=[logger]
+        )
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert events[0]["event"] == "train_start"
+    with pytest.raises(RuntimeError):
+        logger._emit({"event": "late"})
+
+
+# ----------------------------------------------------------------------
+# GMStateRecorder
+# ----------------------------------------------------------------------
+def test_gm_state_recorder_trajectory(rng):
+    x = rng.normal(size=(80, 10))
+    y = (x[:, 0] > 0).astype(np.int64)
+    reg = GMRegularizer(n_dimensions=10)
+    model = LogisticRegression(10, regularizer=reg, rng=rng)
+    rec = GMStateRecorder()
+    Trainer(model, lr=0.3, batch_size=16).fit(
+        x, y, epochs=3, rng=rng, callbacks=[rec]
+    )
+    snaps = rec.trajectory["weights"]
+    # init snapshot (epoch -1) plus one per epoch
+    assert [s["epoch"] for s in snaps] == [-1, 0, 1, 2]
+    for snap in snaps:
+        assert len(snap["pi"]) == snap["n_components"]
+        assert len(snap["lam"]) == snap["n_components"]
+        assert abs(sum(snap["pi"]) - 1.0) < 1e-9
+    assert len(rec.pi_series("weights")) == 4
+    assert json.dumps(rec.as_dict())  # JSON-serializable
+
+
+def test_gm_state_recorder_ignores_fixed_regularizers(rng):
+    x, y = make_data(rng)
+    rec = GMStateRecorder()
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=1, rng=rng, callbacks=[rec]
+    )
+    assert rec.trajectory == {}
+
+
+# ----------------------------------------------------------------------
+# EarlyStopping
+# ----------------------------------------------------------------------
+def test_early_stopping_on_train_loss(rng):
+    x, y = make_data(rng)
+    model = QuadraticModel(4)
+    model.w[...] = x.mean(axis=0)  # already at the optimum: no improvement
+    stopper = EarlyStopping(monitor="train_loss", patience=2)
+    history = Trainer(model, lr=1e-12, batch_size=64, shuffle=False).fit(
+        x, y, epochs=50, rng=rng, callbacks=[stopper]
+    )
+    assert stopper.stopped_epoch is not None
+    assert len(history.records) == stopper.stopped_epoch + 1
+    assert len(history.records) < 50
+
+
+def test_early_stopping_val_accuracy_requires_validation(rng):
+    x, y = make_data(rng)
+    stopper = EarlyStopping(monitor="val_accuracy")
+    with pytest.raises(ValueError):
+        Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+            x, y, epochs=2, rng=rng, callbacks=[stopper]
+        )
+
+
+def test_early_stopping_validates_arguments():
+    with pytest.raises(ValueError):
+        EarlyStopping(monitor="nonsense")
+    with pytest.raises(ValueError):
+        EarlyStopping(patience=0)
+    with pytest.raises(ValueError):
+        EarlyStopping(min_delta=-0.1)
+
+
+# ----------------------------------------------------------------------
+# CheckpointCallback
+# ----------------------------------------------------------------------
+def test_checkpoint_callback_saves_loadable_weights(tmp_path, rng):
+    x, y = make_data(rng)
+    model = QuadraticModel(4)
+    ckpt = CheckpointCallback(str(tmp_path / "ckpt_{epoch:02d}.npz"), every=2)
+    Trainer(model, lr=0.3, batch_size=16).fit(
+        x, y, epochs=5, rng=rng, callbacks=[ckpt]
+    )
+    # every=2 saves after epochs 1 and 3, plus the final epoch 4
+    assert [p.split("_")[-1] for p in ckpt.saved_paths] == \
+        ["01.npz", "03.npz", "04.npz"]
+    # the final checkpoint round-trips into a fresh model
+    fresh = QuadraticModel(4)
+    load_network_weights(fresh, ckpt.saved_paths[-1])
+    assert np.array_equal(fresh.w, model.w)
+
+
+def test_checkpoint_callback_save_best_only(tmp_path, rng):
+    x, y = make_data(rng)
+    path = tmp_path / "best.npz"
+    ckpt = CheckpointCallback(str(path), save_best_only=True,
+                              monitor="train_loss")
+    Trainer(QuadraticModel(4), lr=0.3, batch_size=16).fit(
+        x, y, epochs=5, rng=rng, callbacks=[ckpt]
+    )
+    assert path.exists()
+    assert ckpt.best is not None
+    # loss decreases monotonically here, so every epoch improved
+    assert len(ckpt.saved_paths) >= 1
+
+
+def test_checkpoint_callback_validates_arguments():
+    with pytest.raises(ValueError):
+        CheckpointCallback("x.npz", every=0)
+    with pytest.raises(ValueError):
+        CheckpointCallback("x.npz", monitor="nope")
+
+
+# ----------------------------------------------------------------------
+# ProgressReporter / MetricsSummary
+# ----------------------------------------------------------------------
+def test_progress_reporter_output(rng):
+    x, y = make_data(rng)
+    buf = io.StringIO()
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=3, rng=rng,
+        callbacks=[ProgressReporter(stream=buf, every=2)],
+    )
+    out = buf.getvalue()
+    assert "epoch 2/3" in out
+    assert "epoch 1/3" not in out  # every=2 skips odd epochs
+    assert "training done: 3 epochs" in out
+
+
+def test_metrics_summary_output(rng):
+    x, y = make_data(rng)
+    buf = io.StringIO()
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=1, rng=rng, callbacks=[MetricsSummary(stream=buf)],
+    )
+    out = buf.getvalue()
+    assert "phase/estep" in out
+    assert "counter train/batches = 4" in out
+
+
+# ----------------------------------------------------------------------
+# Ambient callbacks (runtime)
+# ----------------------------------------------------------------------
+def test_use_callbacks_installs_and_restores(rng):
+    x, y = make_data(rng, n=32)
+    rec = Recorder()
+    assert default_callbacks() == ()
+    with use_callbacks(rec):
+        assert default_callbacks() == (rec,)
+        Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+            x, y, epochs=1, rng=rng
+        )
+    assert default_callbacks() == ()
+    assert rec.events[0] == "train_start"
+    assert rec.events[-1] == "train_end"
+
+
+def test_use_callbacks_nests():
+    a, b = Recorder(), Recorder()
+    with use_callbacks(a):
+        with use_callbacks(b):
+            assert default_callbacks() == (a, b)
+        assert default_callbacks() == (a,)
+
+
+def test_use_callbacks_rejects_non_callbacks():
+    with pytest.raises(TypeError):
+        with use_callbacks(object()):
+            pass

@@ -1,0 +1,142 @@
+"""Determinism guarantees of the telemetry subsystem.
+
+Two properties the ISSUE's acceptance criteria pin down:
+
+1. *Telemetry is passive*: enabling callbacks/metrics changes no
+   training result — losses are bit-identical to a callback-free run
+   with the same seed.
+2. *Runs are reproducible*: two identically seeded runs produce
+   identical histories and identical telemetry event streams modulo
+   the wall-clock fields (timestamps and timer readings).
+"""
+
+import io
+import json
+
+import numpy as np
+
+from repro.core import GMRegularizer, LazyUpdateSchedule
+from repro.linear import LogisticRegression
+from repro.optim import Trainer
+from repro.telemetry import GMStateRecorder, JsonlRunLogger
+
+# The only nondeterministic JSONL fields are wall-clock readings.
+TIMING_KEYS = frozenset({
+    "timestamp", "elapsed_seconds", "cumulative_seconds", "total_seconds",
+    "phases", "metrics",
+})
+
+
+def strip_timing(event: dict) -> dict:
+    return {k: v for k, v in event.items() if k not in TIMING_KEYS}
+
+
+def make_problem():
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(100, 12))
+    y = (x[:, 0] + 0.3 * x[:, 1] > 0).astype(np.int64)
+    return x, y
+
+
+def run_gm(x, y, callbacks=None, epochs=5):
+    schedule = LazyUpdateSchedule(model_interval=3, gm_interval=6,
+                                  eager_epochs=1)
+    reg = GMRegularizer(n_dimensions=12, schedule=schedule)
+    model = LogisticRegression(12, regularizer=reg,
+                               rng=np.random.default_rng(7))
+    trainer = Trainer(model, lr=0.3, batch_size=20)
+    history = trainer.fit(x, y, epochs=epochs,
+                          rng=np.random.default_rng(123),
+                          callbacks=callbacks)
+    return history, model, trainer
+
+
+def test_telemetry_changes_no_training_result():
+    x, y = make_problem()
+    bare_history, bare_model, _ = run_gm(x, y, callbacks=None)
+    logger = JsonlRunLogger(stream=io.StringIO(), log_batches=True)
+    recorder = GMStateRecorder()
+    obs_history, obs_model, _ = run_gm(x, y, callbacks=[logger, recorder])
+    # Bit-identical, not merely close.
+    assert np.array_equal(bare_history.losses(), obs_history.losses())
+    assert np.array_equal(bare_model.weights, obs_model.weights)
+
+
+def test_same_seed_identical_history_and_event_stream():
+    x, y = make_problem()
+    streams = []
+    histories = []
+    for _ in range(2):
+        buf = io.StringIO()
+        logger = JsonlRunLogger(stream=buf, log_batches=True)
+        history, _, _ = run_gm(x, y, callbacks=[logger])
+        histories.append(history)
+        streams.append([json.loads(line) for line in buf.getvalue().splitlines()])
+    assert np.array_equal(histories[0].losses(), histories[1].losses())
+    assert len(streams[0]) == len(streams[1])
+    for e0, e1 in zip(streams[0], streams[1]):
+        assert strip_timing(e0) == strip_timing(e1)
+
+
+def test_gm_trajectory_and_phase_times_recoverable_from_jsonl():
+    """The acceptance-criteria scenario: a logistic-regression run with
+    GMRegularizer + JsonlRunLogger emits a log from which the per-phase
+    E-/M-step time and the pi/lambda trajectory can be recovered."""
+    x, y = make_problem()
+    buf = io.StringIO()
+    logger = JsonlRunLogger(stream=buf)
+    history, _, trainer = run_gm(x, y, callbacks=[logger], epochs=4)
+    events = [json.loads(line) for line in buf.getvalue().splitlines()]
+
+    epoch_ends = [e for e in events if e["event"] == "epoch_end"]
+    assert len(epoch_ends) == len(history.records)
+
+    # pi/lambda trajectory: one snapshot per epoch, pi always a simplex.
+    pis = [e["gm_state"]["weights"]["pi"] for e in epoch_ends]
+    lams = [e["gm_state"]["weights"]["lam"] for e in epoch_ends]
+    assert len(pis) == 4
+    for pi, lam in zip(pis, lams):
+        assert abs(sum(pi) - 1.0) < 1e-9
+        assert all(v > 0 for v in lam)
+
+    # Per-phase times: cumulative and non-decreasing across epochs, with
+    # the final epoch's totals matching the trainer's own registry.
+    for phase in ("estep", "grad", "mstep", "sgd"):
+        series = [e["phases"][phase] for e in epoch_ends]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+    assert epoch_ends[-1]["phases"] == trainer.metrics.phase_seconds()
+
+    # EM activity stream matches the lazy schedule's refresh counts.
+    em_events = [e for e in events if e["event"] == "em_step"]
+    n_esteps = sum(e["estep"] for e in em_events)
+    n_msteps = sum(e["mstep"] for e in em_events)
+    gauges = trainer.metrics.snapshot()["gauges"]
+    assert n_esteps == gauges["em/estep_refreshes"]
+    assert n_msteps == gauges["em/mstep_refreshes"]
+
+
+def test_clock_injection_makes_epoch_timing_deterministic():
+    """Satellite: EpochRecord timing uses the injected clock, so tests
+    assert exact durations instead of sleeping."""
+    x, y = make_problem()
+
+    ticks = iter(range(0, 10_000))
+
+    def fake_clock():
+        return float(next(ticks))
+
+    reg = GMRegularizer(n_dimensions=12)
+    model = LogisticRegression(12, regularizer=reg,
+                               rng=np.random.default_rng(7))
+    trainer = Trainer(model, lr=0.3, batch_size=20, clock=fake_clock)
+    history = trainer.fit(x, y, epochs=2, rng=np.random.default_rng(0))
+    # Every clock() call advances exactly 1.0: the recorded durations
+    # are exact integers determined by the number of clock reads.
+    for record in history.records:
+        assert record.elapsed_seconds == int(record.elapsed_seconds)
+        assert record.elapsed_seconds > 0
+    assert history.records[0].cumulative_seconds \
+        < history.records[1].cumulative_seconds
+    # The phase timers share the same fake clock.
+    phases = trainer.metrics.phase_seconds()
+    assert all(v == int(v) and v > 0 for v in phases.values())

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry (counters/gauges/histograms/timers)."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_value_wins():
+    g = MetricsRegistry().gauge("lr")
+    assert g.value is None
+    g.set(0.1)
+    g.set(0.01)
+    assert g.value == 0.01
+
+
+def test_histogram_summary_statistics():
+    h = MetricsRegistry().histogram("loss")
+    for v in (3.0, 1.0, 2.0, 4.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 10.0
+    assert h.mean == 2.5
+    assert h.min == 1.0
+    assert h.max == 4.0
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 4.0
+    summary = h.summary()
+    assert summary["count"] == 4
+    assert summary["p50"] in (2.0, 3.0)
+
+
+def test_histogram_empty_raises_but_summary_is_safe():
+    h = MetricsRegistry().histogram("empty")
+    with pytest.raises(ValueError):
+        h.mean
+    with pytest.raises(ValueError):
+        h.quantile(0.5)
+    assert h.summary() == {"count": 0}
+
+
+def test_timer_accumulates_with_fake_clock():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    t = reg.timer("phase/estep")
+    with t:
+        clock.advance(1.5)
+    with t:
+        clock.advance(0.5)
+    assert t.count == 2
+    assert t.total_seconds == pytest.approx(2.0)
+    assert t.last_seconds == pytest.approx(0.5)
+    assert t.mean_seconds == pytest.approx(1.0)
+
+
+def test_timer_misuse_raises():
+    t = MetricsRegistry(clock=FakeClock()).timer("t")
+    with pytest.raises(RuntimeError):
+        t.stop()
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()
+
+
+def test_instruments_are_shared_by_name():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.timer("t") is reg.timer("t")
+
+
+def test_name_kind_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.timer("x")
+
+
+def test_snapshot_and_reset():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    reg.counter("batches").inc(7)
+    reg.gauge("lr").set(0.1)
+    reg.histogram("loss").observe(1.0)
+    with reg.timer("phase/grad"):
+        clock.advance(2.0)
+    snap = reg.snapshot()
+    assert snap["counters"]["batches"] == 7
+    assert snap["gauges"]["lr"] == 0.1
+    assert snap["histograms"]["loss"]["count"] == 1
+    assert snap["timers"]["phase/grad"]["total_seconds"] == pytest.approx(2.0)
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"]["batches"] == 0
+    assert snap["gauges"]["lr"] is None
+    assert snap["histograms"]["loss"] == {"count": 0}
+    assert snap["timers"]["phase/grad"]["count"] == 0
+
+
+def test_phase_seconds_filters_prefix():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    with reg.timer("phase/estep"):
+        clock.advance(1.0)
+    with reg.timer("other/thing"):
+        clock.advance(5.0)
+    assert reg.phase_seconds() == {"estep": pytest.approx(1.0)}

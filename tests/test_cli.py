@@ -41,3 +41,34 @@ def test_fig5_fast_runs(capsys):
     out = capsys.readouterr().out
     assert "Im=50" in out
     assert "baseline" in out
+
+
+def test_parser_accepts_telemetry_flags():
+    args = build_parser().parse_args(
+        ["fig5", "--telemetry-out", "run.jsonl", "--log-metrics"]
+    )
+    assert args.telemetry_out == "run.jsonl"
+    assert args.log_metrics is True
+    args = build_parser().parse_args(["table2"])
+    assert args.telemetry_out is None
+    assert args.log_metrics is False
+
+
+def test_telemetry_flags_write_log_and_print_summary(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "fig5.jsonl"
+    assert main(["fig5", "--fast", "--epochs", "2",
+                 "--telemetry-out", str(path), "--log-metrics"]) == 0
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    kinds = {e["event"] for e in events}
+    assert {"train_start", "em_step", "epoch_end", "train_end"} <= kinds
+    # fig5 trains 6 GM settings + 1 baseline = 7 runs in one log.
+    assert {e["run"] for e in events} == set(range(7))
+    epoch_end = next(e for e in events if e["event"] == "epoch_end")
+    assert set(epoch_end["phases"]) == {"estep", "grad", "mstep", "sgd"}
+    assert epoch_end["gm_state"]  # per-layer pi/lambda present
+    # --log-metrics prints each run's phase summary to stderr.
+    err = capsys.readouterr().err
+    assert "phase/estep" in err
+    assert "train/batches" in err
