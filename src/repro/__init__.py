@@ -29,6 +29,10 @@ The package is organized as the paper's system is:
     Observability for the training loop: event callbacks, per-phase
     timers (E-step / gradient / M-step / SGD), a metrics registry and
     structured JSONL run logs.
+``repro.serve``
+    Model serving: a versioned checkpoint registry with atomic
+    hot-swap, a micro-batching prediction server with an LRU cache,
+    per-request deadlines and graceful backpressure degradation.
 """
 
 from . import core, telemetry

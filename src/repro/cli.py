@@ -8,6 +8,18 @@ can be regenerated without pytest:
     python -m repro fig5 --epochs 8
     python -m repro all --fast
 
+Beyond the experiments, the ``repro.serve`` subsystem is exposed as two
+subcommands (not part of ``all``):
+
+    python -m repro serve --requests 200 --registry models/
+    python -m repro predict --registry models/ --input rows.npy --proba
+
+``serve`` trains a small model on the synthetic dataset, publishes it
+to a model registry, starts a micro-batching server, replays concurrent
+predict traffic against it and verifies the serving metrics — the CI
+smoke test for the serving layer.  ``predict`` scores rows from a
+``.npy``/``.npz`` file with the registry's active model version.
+
 ``--fast`` shrinks every experiment to roughly example scale.
 ``--telemetry-out run.jsonl`` writes a structured JSONL event log of
 every training run the command performs (per-epoch losses, per-phase
@@ -146,6 +158,123 @@ def _cmd_fig7(args) -> None:
     print(format_timing_curves(curves))
 
 
+# ----------------------------------------------------------------------
+# Serving subcommands (repro.serve)
+# ----------------------------------------------------------------------
+def _train_demo_model(seed: int = 0, fast: bool = False):
+    """Train a small readmission-style model on the synthetic dataset."""
+    from .datasets.preprocessing import TabularEncoder
+    from .datasets.synthetic import CategoricalSpec, TabularSchema, generate_dataset
+    from .linear.logistic import LogisticRegression
+    from .optim.trainer import Trainer
+
+    schema = TabularSchema(
+        n_continuous=12,
+        categorical=(CategoricalSpec("ward", 4), CategoricalSpec("payer", 3)),
+        predictive_fraction=0.4,
+    )
+    rng = np.random.default_rng(seed)
+    table, labels, _weights = generate_dataset(
+        schema, n_samples=200 if fast else 600, rng=rng
+    )
+    encoder = TabularEncoder()
+    x = encoder.fit_transform(table)
+    model = LogisticRegression(x.shape[1], rng=np.random.default_rng(seed + 1))
+    Trainer(model, lr=0.5, batch_size=64).fit(
+        x, labels, epochs=2 if fast else 8, rng=np.random.default_rng(seed + 2)
+    )
+    return model, x
+
+
+def _cmd_serve(args) -> None:
+    """Serve smoke test: publish, replay concurrent traffic, verify."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .linear.logistic import LogisticRegression
+    from .serve import ModelRegistry, ModelServer
+
+    n_requests = args.requests
+    model, x = _train_demo_model(fast=args.fast)
+    rows = x[np.arange(n_requests) % x.shape[0]]
+    expected = model.predict(rows)
+
+    registry = ModelRegistry(args.registry)
+    registry.register(
+        args.name,
+        lambda: LogisticRegression(model.n_features, weight_init_std=0.0),
+    )
+    version = registry.publish(args.name, model)
+    print(f"published {args.name}:{version} "
+          f"({registry.metadata(args.name, version)['n_parameters']} params)")
+
+    server = ModelServer(
+        registry=registry,
+        name=args.name,
+        max_batch_size=args.max_batch,
+        workers=args.serve_workers,
+    )
+    with server, ThreadPoolExecutor(max_workers=16) as pool:
+        got = np.array(list(pool.map(server.predict, rows)))
+    stats = server.stats()
+
+    failures = []
+    if not np.array_equal(got, expected):
+        failures.append("served predictions differ from direct predictions")
+    if stats["requests"] != n_requests:
+        failures.append(
+            f"requests_total={stats['requests']} != issued {n_requests}"
+        )
+    counters = stats["metrics"]["counters"]
+    accounted = (
+        counters.get("serve/cache_hits_total", 0.0)
+        + stats["shed"]
+        + counters.get("serve/deadline_expired_total", 0.0)
+        + stats["metrics"]["histograms"]["serve/batch_size"].get("sum", 0.0)
+    )
+    if accounted != n_requests:
+        failures.append(
+            f"request accounting mismatch: {accounted} != {n_requests}"
+        )
+    if not server.closed:
+        failures.append("server did not shut down cleanly")
+
+    print(f"requests={stats['requests']:.0f} batches={stats['batches']:.0f} "
+          f"mean_batch={stats['mean_batch_size']:.1f} "
+          f"shed={stats['shed']:.0f} "
+          f"cache_hit_rate={stats['cache_hit_rate']:.2f}")
+    if "latency_p50_ms" in stats:
+        print(f"latency p50={stats['latency_p50_ms']:.3f}ms "
+              f"p99={stats['latency_p99_ms']:.3f}ms")
+    if failures:
+        for failure in failures:
+            print(f"serve smoke FAILED: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print("serve smoke test OK")
+
+
+def _cmd_predict(args) -> None:
+    """Score rows from ``--input`` with the registry's active model."""
+    from .serve import ModelRegistry
+
+    if not args.registry or not args.input:
+        print("predict requires --registry and --input", file=sys.stderr)
+        raise SystemExit(2)
+    loaded = np.load(args.input)
+    rows = loaded["x"] if hasattr(loaded, "files") else loaded
+    registry = ModelRegistry(args.registry)
+    active = registry.active(args.name)
+    print(f"# {args.name}:{active.version} on {rows.shape[0]} rows",
+          file=sys.stderr)
+    method = "predict_proba" if args.proba else "predict"
+    for value in getattr(active.model, method)(rows):
+        print(f"{value:.6f}" if args.proba else int(value))
+
+
+_SERVE_COMMANDS = {
+    "serve": _cmd_serve,
+    "predict": _cmd_predict,
+}
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "table4": _cmd_table4,
@@ -168,8 +297,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which table/figure to reproduce ('all' runs everything)",
+        choices=sorted(_COMMANDS) + ["all"] + sorted(_SERVE_COMMANDS),
+        help="which table/figure to reproduce ('all' runs every "
+             "experiment; 'serve'/'predict' drive the serving layer)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -192,6 +322,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--log-metrics", action="store_true",
         help="print each run's phase-timer/counter summary to stderr",
+    )
+    serving = parser.add_argument_group("serving (serve/predict only)")
+    serving.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="model registry directory (serve: omit for in-memory)",
+    )
+    serving.add_argument(
+        "--name", default="synthetic-readmission",
+        help="model name inside the registry",
+    )
+    serving.add_argument(
+        "--requests", type=int, default=100,
+        help="serve only: number of concurrent predict requests to replay",
+    )
+    serving.add_argument(
+        "--max-batch", type=int, default=32,
+        help="serve only: micro-batch size cap",
+    )
+    serving.add_argument(
+        "--serve-workers", type=int, default=2,
+        help="serve only: dispatch worker threads",
+    )
+    serving.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="predict only: .npy/.npz file of encoded feature rows",
+    )
+    serving.add_argument(
+        "--proba", action="store_true",
+        help="predict only: print probabilities instead of labels",
     )
     return parser
 
@@ -218,7 +377,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with use_callbacks(*callbacks):
             for name in names:
                 print(f"\n===== {name} =====")
-                _COMMANDS[name](args)
+                {**_COMMANDS, **_SERVE_COMMANDS}[name](args)
     finally:
         if logger is not None:
             logger.close()

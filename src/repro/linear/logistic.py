@@ -108,12 +108,12 @@ class LogisticRegression:
     # ------------------------------------------------------------------
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Predicted probability of the positive class."""
-        self._check_input(x)
+        x = self._prepare_input(x)
         return sigmoid(x @ self.weights + self.bias[0])
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         """Raw logits ``x @ w + b``."""
-        self._check_input(x)
+        x = self._prepare_input(x)
         return x @ self.weights + self.bias[0]
 
     def _check_input(self, x: np.ndarray) -> None:
@@ -121,3 +121,18 @@ class LogisticRegression:
             raise ValueError(
                 f"expected input of shape (n, {self.n_features}), got {x.shape}"
             )
+
+    def _prepare_input(self, x: np.ndarray) -> np.ndarray:
+        """Accept a single 1-D feature row by lifting it to a 1-row batch.
+
+        All prediction entry points (``predict`` / ``predict_proba`` /
+        ``decision_function``) share this, so a serving layer can hand
+        single samples to any of them uniformly; the output then has a
+        length-1 batch axis.  Training (``loss_and_gradients``) stays
+        strictly 2-D.
+        """
+        x = np.asarray(x)
+        if x.ndim == 1 and x.shape[0] == self.n_features:
+            x = x.reshape(1, -1)
+        self._check_input(x)
+        return x

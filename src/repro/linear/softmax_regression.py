@@ -95,7 +95,7 @@ class SoftmaxRegression:
     # ------------------------------------------------------------------
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Class-probability matrix ``(n, n_classes)``."""
-        self._check_input(x)
+        x = self._prepare_input(x)
         return softmax(x @ self.weights + self.bias)
 
     def _check_input(self, x: np.ndarray) -> None:
@@ -103,3 +103,12 @@ class SoftmaxRegression:
             raise ValueError(
                 f"expected input of shape (n, {self.n_features}), got {x.shape}"
             )
+
+    def _prepare_input(self, x: np.ndarray) -> np.ndarray:
+        """Lift a single 1-D feature row to a 1-row batch (see
+        :meth:`LogisticRegression._prepare_input`)."""
+        x = np.asarray(x)
+        if x.ndim == 1 and x.shape[0] == self.n_features:
+            x = x.reshape(1, -1)
+        self._check_input(x)
+        return x

@@ -10,6 +10,7 @@ Table III, and the ResNet pad-crop/flip augmentation.
 
 from .augment import make_augmenter, pad_crop_flip
 from .checkpoint import (
+    LoadReport,
     load_network_state_dict,
     load_network_weights,
     network_state_dict,
@@ -57,6 +58,7 @@ __all__ = [
     "Network",
     "RegularizerFactory",
     "network_state_dict",
+    "LoadReport",
     "load_network_state_dict",
     "save_network",
     "load_network_weights",

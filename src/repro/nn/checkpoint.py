@@ -10,16 +10,57 @@ The functions only require a ``parameters()`` method returning named
 logistic regression, or a custom model — which is what lets
 :class:`~repro.telemetry.callbacks.CheckpointCallback` delegate here
 for every trainer.
+
+Both loaders return a :class:`LoadReport` naming exactly which
+parameters were loaded, which model parameters had no counterpart in
+the state dict (``missing``) and which state-dict entries had no
+counterpart on the model (``unexpected``).  In strict mode a non-clean
+report raises; in lenient mode the caller inspects the report — this is
+what :class:`~repro.serve.registry.ModelRegistry` uses for its
+checkpoint/architecture compatibility check.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["network_state_dict", "load_network_state_dict",
+__all__ = ["LoadReport", "network_state_dict", "load_network_state_dict",
            "save_network", "load_network_weights"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of loading a state dict into a model.
+
+    Attributes
+    ----------
+    loaded:
+        Qualified names copied into the model.
+    missing:
+        Model parameters the state dict had no entry for (stale
+        checkpoint or grown architecture).
+    unexpected:
+        State-dict entries the model has no parameter for (shrunk
+        architecture or a checkpoint from a different model).
+    """
+
+    loaded: Tuple[str, ...]
+    missing: Tuple[str, ...]
+    unexpected: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when every name matched on both sides."""
+        return not (self.missing or self.unexpected)
+
+    def __str__(self) -> str:
+        return (
+            f"LoadReport(loaded={len(self.loaded)}, "
+            f"missing={list(self.missing)}, unexpected={list(self.unexpected)})"
+        )
 
 
 def network_state_dict(model) -> Dict[str, np.ndarray]:
@@ -29,22 +70,30 @@ def network_state_dict(model) -> Dict[str, np.ndarray]:
 
 def load_network_state_dict(
     model, state: Dict[str, np.ndarray], strict: bool = True
-) -> None:
+) -> LoadReport:
     """Copy arrays from ``state`` into the model's parameters in place.
 
     Parameters
     ----------
     strict:
         When True (default), missing or extra names raise; when False,
-        only names present on both sides are loaded.
+        only names present on both sides are loaded and the returned
+        :class:`LoadReport` says which ones were skipped.
+
+    Returns
+    -------
+    LoadReport
+        Loaded / missing / unexpected qualified names.
     """
     own = {p.name: p.value for p in model.parameters()}
-    missing = sorted(set(own) - set(state))
-    extra = sorted(set(state) - set(own))
-    if strict and (missing or extra):
+    missing = tuple(sorted(set(own) - set(state)))
+    unexpected = tuple(sorted(set(state) - set(own)))
+    if strict and (missing or unexpected):
         raise KeyError(
-            f"state dict mismatch: missing={missing}, unexpected={extra}"
+            f"state dict mismatch: missing={list(missing)}, "
+            f"unexpected={list(unexpected)}"
         )
+    loaded = []
     for name, value in state.items():
         if name not in own:
             continue
@@ -55,6 +104,8 @@ def load_network_state_dict(
                 f"{name}: shape {value.shape} does not match {target.shape}"
             )
         target[...] = value
+        loaded.append(name)
+    return LoadReport(tuple(sorted(loaded)), missing, unexpected)
 
 
 def save_network(model, path: str) -> None:
@@ -65,8 +116,14 @@ def save_network(model, path: str) -> None:
     np.savez(path, **network_state_dict(model))
 
 
-def load_network_weights(model, path: str, strict: bool = True) -> None:
-    """Load parameters written by :func:`save_network` into ``model``."""
+def load_network_weights(model, path: str, strict: bool = True) -> LoadReport:
+    """Load parameters written by :func:`save_network` into ``model``.
+
+    Returns the :class:`LoadReport` from
+    :func:`load_network_state_dict`, so ``strict=False`` callers can see
+    which keys were missing or unexpected instead of having them
+    silently skipped.
+    """
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
-    load_network_state_dict(model, state, strict=strict)
+    return load_network_state_dict(model, state, strict=strict)

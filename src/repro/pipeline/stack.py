@@ -6,12 +6,22 @@ and aggregated (epiC), optionally cohort-analyzed (CohAna), and finally
 modelled with the adaptive GM regularization tool plugged into the
 training stage.  Every intermediate dataset is a commit, so the whole
 run is reproducible and auditable.
+
+:meth:`AnalyticsStack.serve` closes the loop with the deployment stage:
+the trained model is published into a
+:class:`~repro.serve.registry.ModelRegistry` and fronted by a
+micro-batching :class:`~repro.serve.server.ModelServer`, so one object
+covers the paper's full train → commit → serve story.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve.registry import ModelRegistry
+    from ..serve.server import ModelServer
 
 import numpy as np
 
@@ -39,6 +49,7 @@ class StackResult:
     history: TrainingHistory
     model: LogisticRegression
     commits: Dict[str, str] = field(default_factory=dict)  # stage -> version
+    encoder: Optional[TabularEncoder] = None  # fitted feature encoder
 
 
 class AnalyticsStack:
@@ -154,4 +165,44 @@ class AnalyticsStack:
             history=history,
             model=model,
             commits=commits,
+            encoder=encoder,
         )
+
+    def serve(
+        self,
+        result: StackResult,
+        name: str = "readmission-risk",
+        registry: "Optional[ModelRegistry]" = None,
+        registry_dir: Optional[str] = None,
+        **server_kwargs,
+    ) -> "ModelServer":
+        """Publish ``result.model`` and return a running model server.
+
+        The model is committed to ``registry`` (a fresh one is created
+        when omitted — on disk under ``registry_dir``, otherwise
+        in-memory) as the next version of ``name`` and activated, then
+        fronted by a :class:`~repro.serve.server.ModelServer` whose
+        micro-batching/caching knobs pass through ``server_kwargs``.
+        The server scores *encoded* feature rows; use ``result.encoder``
+        to transform cleaned tables into its input space.  Close the
+        returned server (it is a context manager) to stop the worker
+        pool.
+        """
+        from ..serve.registry import ModelRegistry
+        from ..serve.server import ModelServer
+
+        if registry is None:
+            registry = ModelRegistry(registry_dir)
+        n_features = result.model.n_features
+        registry.register(
+            name, lambda: LogisticRegression(n_features, weight_init_std=0.0)
+        )
+        registry.publish(
+            name,
+            result.model,
+            metadata={
+                "test_accuracy": result.test_accuracy,
+                "commits": dict(result.commits),
+            },
+        )
+        return ModelServer(registry=registry, name=name, **server_kwargs)

@@ -1,0 +1,42 @@
+"""Model serving: registry, micro-batching, caching, worker pool.
+
+The paper's tool lives inside a production analytics stack where
+trained readmission-risk models answer *live* queries; this subsystem
+closes the repo's train → serve gap:
+
+:mod:`repro.serve.registry`
+    :class:`ModelRegistry` — versioned ``.npz`` checkpoints (disk or
+    in-memory) for any ``parameters()`` model, with an atomic hot-swap
+    of the active version and a :class:`~repro.nn.checkpoint.LoadReport`
+    based architecture-compatibility check.
+:mod:`repro.serve.batching`
+    :class:`MicroBatcher` — bounded FIFO + worker pool that coalesces
+    concurrent single-row requests into one NumPy batch call.
+:mod:`repro.serve.cache`
+    :class:`PredictionCache` — LRU of per-row results keyed on
+    method x model-version x row bytes.
+:mod:`repro.serve.server`
+    :class:`ModelServer` — the request lifecycle: per-request
+    deadlines, backpressure shedding to a single-item sync path, and
+    full :class:`~repro.telemetry.metrics.MetricsRegistry` wiring
+    (latency/batch-size histograms, queue-depth gauge, shed and cache
+    counters).
+
+Entry points: ``python -m repro serve`` / ``python -m repro predict``
+(CLI) and :meth:`repro.pipeline.stack.AnalyticsStack.serve` (in-process).
+"""
+
+from .batching import MicroBatcher, ServeRequest
+from .cache import PredictionCache
+from .registry import ActiveModel, CheckpointIncompatible, ModelRegistry
+from .server import ModelServer
+
+__all__ = [
+    "ActiveModel",
+    "CheckpointIncompatible",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelServer",
+    "PredictionCache",
+    "ServeRequest",
+]

@@ -1,0 +1,272 @@
+"""Dynamic micro-batching queue with a thread worker pool.
+
+NumPy inference cost is dominated by per-call overhead (Python layer
+dispatch, BLAS setup) rather than per-row arithmetic, so scoring 32
+queued rows as one ``(32, d)`` batch costs barely more than scoring one
+— the whole point of coalescing.  This module owns the mechanics:
+
+- requests enter a **bounded FIFO** (`max_queue`); a full queue makes
+  :meth:`MicroBatcher.submit` return ``False`` so the caller can shed
+  to its single-item sync path instead of growing memory without bound;
+- a worker takes the head request, then **coalesces** further queued
+  requests *of the same method* up to ``max_batch_size``, waiting at
+  most ``batch_timeout`` seconds for stragglers (a lone request on an
+  idle server therefore pays at most the timeout in added latency, and
+  pays nothing when the timeout is 0);
+- the stacked rows are dispatched **once** through a caller-provided
+  ``dispatch(method, rows)`` function and the per-row results fan back
+  out to the waiting callers;
+- a queued (not yet dispatched) request can be **cancelled**, which is
+  how per-request deadlines degrade gracefully instead of erroring.
+
+The batcher knows nothing about models, caches or metrics — the
+:class:`~repro.serve.server.ModelServer` composes those around it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ServeRequest", "MicroBatcher"]
+
+# dispatch(method, rows) -> per-row results, aligned with rows
+DispatchFn = Callable[[str, List[np.ndarray]], Sequence[Any]]
+
+_QUEUED = "queued"
+_DISPATCHED = "dispatched"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class ServeRequest:
+    """One in-flight single-row request."""
+
+    __slots__ = ("row", "method", "event", "result", "error", "state",
+                 "enqueued_at")
+
+    def __init__(self, method: str, row: np.ndarray, enqueued_at: float):
+        self.method = method
+        self.row = row
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.state = _QUEUED
+        self.enqueued_at = enqueued_at
+
+    def done(self) -> bool:
+        return self.event.is_set()
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-row requests into batched dispatches.
+
+    Parameters
+    ----------
+    dispatch:
+        ``dispatch(method, rows)`` scoring a list of rows in one model
+        call; exceptions it raises are delivered to every request of the
+        failed batch.
+    max_batch_size:
+        Upper bound on rows per dispatch (1 disables coalescing).
+    batch_timeout:
+        Seconds a worker waits for the batch to fill once it holds at
+        least one request.  0 dispatches whatever is immediately queued.
+    max_queue:
+        Bound on queued (not yet dispatched) requests — the
+        backpressure limit.
+    workers:
+        Worker threads pulling batches.  With CPython's GIL more
+        workers mainly help when the model releases the GIL inside
+        BLAS; the default stays small.
+    """
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        max_batch_size: int = 32,
+        batch_timeout: float = 0.002,
+        max_queue: int = 256,
+        workers: int = 2,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if batch_timeout < 0:
+            raise ValueError(f"batch_timeout must be >= 0, got {batch_timeout}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._dispatch = dispatch
+        self.max_batch_size = int(max_batch_size)
+        self.batch_timeout = float(batch_timeout)
+        self.max_queue = int(max_queue)
+        self._queue: "deque[ServeRequest]" = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> bool:
+        """Enqueue; returns ``False`` (shed) when the queue is full."""
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("server is closed")
+            if len(self._queue) >= self.max_queue:
+                return False
+            self._queue.append(request)
+            self._cond.notify()
+            return True
+
+    def submit_many(self, requests: Sequence[ServeRequest]) -> int:
+        """Enqueue a burst under one lock acquisition.
+
+        Accepts a FIFO prefix up to the queue bound and returns how many
+        were taken; the caller sheds the rest exactly as for a ``False``
+        :meth:`submit`.  One acquisition + one notify for the whole
+        burst keeps the producer from trading the lock (and, in
+        CPython, the GIL) with the workers once per row.
+        """
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("server is closed")
+            room = self.max_queue - len(self._queue)
+            accepted = min(max(room, 0), len(requests))
+            self._queue.extend(requests[:accepted])
+            if accepted:
+                self._cond.notify_all()
+            return accepted
+
+    def cancel(self, request: ServeRequest) -> bool:
+        """Remove a still-queued request; ``False`` once dispatch began."""
+        with self._cond:
+            if request.state == _QUEUED:
+                try:
+                    self._queue.remove(request)
+                except ValueError:  # pragma: no cover - state implies presence
+                    return False
+                request.state = _CANCELLED
+                return True
+            return False
+
+    def depth(self) -> int:
+        """Current number of queued (undispatched) requests."""
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _take_matching_locked(
+        self, method: str, limit: int
+    ) -> List[ServeRequest]:
+        """Pop the FIFO prefix sharing ``method``, up to ``limit`` items.
+
+        Only the contiguous head is taken so requests of another method
+        are never overtaken (FIFO fairness across methods).
+        """
+        taken: List[ServeRequest] = []
+        while self._queue and len(taken) < limit:
+            if self._queue[0].method != method:
+                break
+            request = self._queue.popleft()
+            request.state = _DISPATCHED
+            taken.append(request)
+        return taken
+
+    def _collect_batch(self) -> List[ServeRequest]:
+        """Block until a batch is ready (or empty list at shutdown)."""
+        with self._cond:
+            while not self._queue:
+                if self._stopping:
+                    return []
+                self._cond.wait()
+            method = self._queue[0].method
+            batch = self._take_matching_locked(method, self.max_batch_size)
+            if self.batch_timeout > 0.0:
+                deadline = time.monotonic() + self.batch_timeout
+                while len(batch) < self.max_batch_size and not self._stopping:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    self._cond.wait(remaining)
+                    batch.extend(
+                        self._take_matching_locked(
+                            method, self.max_batch_size - len(batch)
+                        )
+                    )
+            if self._queue:
+                # Leftover work (other method / beyond max batch): wake
+                # a sibling worker to start on it while we dispatch.
+                self._cond.notify_all()
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                return
+            try:
+                results = self._dispatch(
+                    batch[0].method, [request.row for request in batch]
+                )
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"dispatch returned {len(results)} results for a "
+                        f"batch of {len(batch)}"
+                    )
+                for request, result in zip(batch, results):
+                    request.result = result
+            except BaseException as exc:  # delivered to every caller
+                for request in batch:
+                    request.error = exc
+            for request in batch:
+                request.state = _DONE
+                request.event.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop the workers.
+
+        ``drain=True`` lets queued requests complete first;
+        ``drain=False`` fails them immediately with ``RuntimeError``.
+        """
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                while self._queue:
+                    request = self._queue.popleft()
+                    request.error = RuntimeError("server closed before dispatch")
+                    request.state = _DONE
+                    request.event.set()
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        # Workers exit as soon as they see the stop flag with an empty
+        # queue; with drain=True anything still queued at that point is
+        # picked up first because _collect_batch prefers work over exit.
+
+    @property
+    def closed(self) -> bool:
+        return self._stopping
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(max_batch_size={self.max_batch_size}, "
+            f"depth={self.depth()}, workers={len(self._threads)})"
+        )

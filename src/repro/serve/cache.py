@@ -1,0 +1,100 @@
+"""LRU prediction cache keyed on feature-row content hashes.
+
+Live analytics traffic is heavily repetitive — the same patient row is
+scored by several dashboards, retries re-send identical queries — so
+the serving layer memoizes per-row results.  Keys cover the model
+*version* as well as the row bytes and the requested method, which is
+what makes the cache safe under the registry's hot-swap: activating a
+new version changes every key, so stale predictions can never be
+served (no explicit invalidation needed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PredictionCache"]
+
+
+class PredictionCache:
+    """Thread-safe LRU cache of single-row prediction results.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached rows; ``0`` disables the cache (every
+        lookup misses, nothing is stored).
+
+    Hit/miss totals are kept here as plain integers; the server mirrors
+    them into its :class:`~repro.telemetry.metrics.MetricsRegistry`
+    counters so they show up in snapshots alongside latency and queue
+    metrics.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def make_key(method: str, version: str, row: np.ndarray) -> bytes:
+        """Digest of ``(method, model version, row dtype/shape/bytes)``."""
+        row = np.ascontiguousarray(row)
+        digest = hashlib.sha1()
+        digest.update(method.encode())
+        digest.update(b"\x00")
+        digest.update(version.encode())
+        digest.update(b"\x00")
+        digest.update(str(row.dtype).encode())
+        digest.update(str(row.shape).encode())
+        digest.update(row.tobytes())
+        return digest.digest()
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True, self._entries[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: bytes, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the least recent beyond capacity."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

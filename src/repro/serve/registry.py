@@ -1,0 +1,356 @@
+"""Versioned model registry with atomic hot-swap of the active version.
+
+The GEMINI stack's storage substrate keeps every intermediate *dataset*
+as an immutable commit; this module gives trained *models* the same
+treatment.  A registry maps a model name to an append-only sequence of
+checkpoint versions (``v0001``, ``v0002``, ...) plus a pointer to the
+currently *active* one, which the serving layer resolves on every
+dispatch.  Activation is atomic: readers either see the whole old
+version or the whole new one, never a half-loaded mix, because the
+swap replaces a single reference under a lock after the new model is
+fully materialized.
+
+Checkpoints are the ``.npz`` state dicts of :mod:`repro.nn.checkpoint`,
+so any ``parameters()`` model — :class:`~repro.linear.logistic.LogisticRegression`,
+:class:`~repro.nn.network.Network`, custom models — can be published.
+Loading a version rebuilds the architecture from a registered factory
+and copies the state dict in with ``strict=False``; the resulting
+:class:`~repro.nn.checkpoint.LoadReport` is the compatibility check —
+any missing/unexpected parameter names abort the load (naming the keys)
+unless the caller opted into a partial load.
+
+Two storage backends share one code path: ``root=<dir>`` persists
+checkpoints and JSON manifests on disk (surviving restarts, shareable
+across processes), ``root=None`` keeps state dicts in memory (tests,
+ephemeral ``AnalyticsStack.serve()`` sessions).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..nn.checkpoint import LoadReport, load_network_state_dict, network_state_dict
+
+__all__ = ["CheckpointIncompatible", "ActiveModel", "ModelRegistry"]
+
+ModelFactory = Callable[[], Any]
+
+
+class CheckpointIncompatible(RuntimeError):
+    """A checkpoint does not fit the architecture built by the factory."""
+
+    def __init__(self, name: str, version: str, report: LoadReport):
+        self.model_name = name
+        self.version = version
+        self.report = report
+        super().__init__(
+            f"checkpoint {name}:{version} is incompatible with the registered "
+            f"architecture: missing={list(report.missing)}, "
+            f"unexpected={list(report.unexpected)}"
+        )
+
+
+@dataclass(frozen=True)
+class ActiveModel:
+    """Immutable snapshot of the live version handed to readers.
+
+    Holding the tuple (rather than re-resolving per row) is what gives a
+    micro-batch its per-batch consistency: every row of one dispatch is
+    scored by the same version even if a hot-swap lands mid-batch.
+    """
+
+    name: str
+    version: str
+    model: Any
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def _default_factory_from_metadata(metadata: Dict[str, Any]) -> ModelFactory:
+    """Rebuild well-known architectures from published metadata.
+
+    Only the linear models record enough to self-describe; deep networks
+    need an explicit registered factory.
+    """
+    kind = metadata.get("model_kind")
+    if kind == "logistic":
+        from ..linear.logistic import LogisticRegression
+
+        n_features = int(metadata["n_features"])
+        return lambda: LogisticRegression(n_features, weight_init_std=0.0)
+    raise KeyError(
+        f"no factory registered and model_kind={kind!r} is not "
+        f"self-describing; call registry.register(name, factory) first"
+    )
+
+
+class ModelRegistry:
+    """Load, version-track and hot-swap ``parameters()`` model checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Directory for persistent storage (created on demand), or ``None``
+        for an in-memory registry.
+
+    Typical lifecycle::
+
+        registry = ModelRegistry("models/")
+        registry.register("readmission", lambda: LogisticRegression(64))
+        v1 = registry.publish("readmission", trained_model)   # activates v1
+        ...
+        v2 = registry.publish("readmission", retrained_model) # atomic swap
+        active = registry.active("readmission")               # -> v2 snapshot
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root
+        self._lock = threading.RLock()
+        self._factories: Dict[str, ModelFactory] = {}
+        self._live: Dict[str, ActiveModel] = {}
+        # In-memory backend: name -> version -> (state dict, metadata).
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Architecture factories
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: ModelFactory) -> None:
+        """Associate ``name`` with a zero-arg architecture builder."""
+        with self._lock:
+            self._factories[name] = factory
+
+    def _factory_for(self, name: str, version: str) -> ModelFactory:
+        factory = self._factories.get(name)
+        if factory is not None:
+            return factory
+        return _default_factory_from_metadata(self.metadata(name, version))
+
+    # ------------------------------------------------------------------
+    # Storage backend helpers
+    # ------------------------------------------------------------------
+    def _model_dir(self, name: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, name)
+
+    def _manifest_path(self, name: str) -> str:
+        return os.path.join(self._model_dir(name), "MANIFEST.json")
+
+    def _read_manifest(self, name: str) -> Dict[str, Any]:
+        if self.root is None:
+            entry = self._memory.get(name, {})
+            return {
+                "versions": sorted(entry.get("versions", {})),
+                "active": entry.get("active"),
+            }
+        try:
+            with open(self._manifest_path(name), encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return {"versions": [], "active": None}
+
+    def _write_manifest(self, name: str, manifest: Dict[str, Any]) -> None:
+        if self.root is None:
+            self._memory.setdefault(name, {"versions": {}})[
+                "active"
+            ] = manifest["active"]
+            return
+        # Atomic replace so a concurrent reader never sees a torn file.
+        path = self._manifest_path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def _load_state(self, name: str, version: str) -> Dict[str, np.ndarray]:
+        if self.root is None:
+            try:
+                state, _meta = self._memory[name]["versions"][version]
+            except KeyError:
+                raise KeyError(f"unknown checkpoint {name}:{version}") from None
+            return {k: v.copy() for k, v in state.items()}
+        path = os.path.join(self._model_dir(name), f"{version}.npz")
+        if not os.path.exists(path):
+            raise KeyError(f"unknown checkpoint {name}:{version}")
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        model: Any,
+        metadata: Optional[Dict[str, Any]] = None,
+        activate: bool = True,
+    ) -> str:
+        """Snapshot ``model``'s parameters as the next version of ``name``.
+
+        Returns the new version string (``v0001``, ``v0002``, ...).  With
+        ``activate=True`` (default) the new version atomically becomes
+        the one served.
+        """
+        state = network_state_dict(model)
+        meta: Dict[str, Any] = {
+            "created_unix": time.time(),
+            "parameters": {k: list(v.shape) for k, v in sorted(state.items())},
+            "n_parameters": int(sum(v.size for v in state.values())),
+        }
+        # Self-describing kinds let `load` work without a registered factory.
+        n_features = getattr(model, "n_features", None)
+        if type(model).__name__ == "LogisticRegression" and n_features:
+            meta["model_kind"] = "logistic"
+            meta["n_features"] = int(n_features)
+        else:
+            meta["model_kind"] = type(model).__name__
+        if metadata:
+            meta.update(metadata)
+
+        with self._lock:
+            manifest = self._read_manifest(name)
+            version = f"v{len(manifest['versions']) + 1:04d}"
+            if self.root is None:
+                slot = self._memory.setdefault(
+                    name, {"versions": {}, "active": None}
+                )
+                slot["versions"][version] = (
+                    {k: v.copy() for k, v in state.items()},
+                    meta,
+                )
+            else:
+                model_dir = self._model_dir(name)
+                os.makedirs(model_dir, exist_ok=True)
+                np.savez(os.path.join(model_dir, f"{version}.npz"), **state)
+                with open(
+                    os.path.join(model_dir, f"{version}.meta.json"),
+                    "w",
+                    encoding="utf-8",
+                ) as fh:
+                    json.dump(meta, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            manifest["versions"] = manifest["versions"] + [version]
+            active = version if activate else manifest["active"]
+            self._write_manifest(name, {**manifest, "active": active})
+            if activate:
+                # The published model is already fully materialized, so no
+                # factory round-trip is needed (models without a registered
+                # factory — e.g. ad-hoc deep networks — can still be served).
+                # A deep copy keeps the live snapshot isolated from any
+                # further training the caller does on `model`.
+                self._live[name] = ActiveModel(
+                    name, version, copy.deepcopy(model), dict(meta)
+                )
+        return version
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All model names known to this registry."""
+        if self.root is None:
+            return sorted(self._memory)
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+
+    def versions(self, name: str) -> List[str]:
+        """Published versions of ``name``, oldest first."""
+        return list(self._read_manifest(name)["versions"])
+
+    def metadata(self, name: str, version: str) -> Dict[str, Any]:
+        """The metadata dict recorded when ``version`` was published."""
+        if self.root is None:
+            try:
+                _state, meta = self._memory[name]["versions"][version]
+            except KeyError:
+                raise KeyError(f"unknown checkpoint {name}:{version}") from None
+            return dict(meta)
+        path = os.path.join(self._model_dir(name), f"{version}.meta.json")
+        if not os.path.exists(path):
+            raise KeyError(f"unknown checkpoint {name}:{version}")
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    # ------------------------------------------------------------------
+    # Loading and activation
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        name: str,
+        version: Optional[str] = None,
+        factory: Optional[ModelFactory] = None,
+        allow_partial: bool = False,
+    ) -> Any:
+        """Materialize ``name:version`` as a fresh model instance.
+
+        ``version=None`` means the latest published version.  The state
+        dict is loaded leniently and the :class:`LoadReport` is checked:
+        a non-clean report raises :class:`CheckpointIncompatible` naming
+        the offending keys unless ``allow_partial=True``.
+        """
+        if version is None:
+            published = self.versions(name)
+            if not published:
+                raise KeyError(f"no versions published for model {name!r}")
+            version = published[-1]
+        state = self._load_state(name, version)
+        build = factory or self._factory_for(name, version)
+        model = build()
+        report = load_network_state_dict(model, state, strict=False)
+        if not allow_partial and not report.clean:
+            raise CheckpointIncompatible(name, version, report)
+        return model
+
+    def activate(self, name: str, version: str) -> ActiveModel:
+        """Atomically make ``version`` the served one.
+
+        The new model is fully loaded *before* the swap; concurrent
+        :meth:`active` readers see either the previous snapshot or the
+        new one, never an intermediate state.
+        """
+        model = self.load(name, version)
+        snapshot = ActiveModel(name, version, model, self.metadata(name, version))
+        with self._lock:
+            manifest = self._read_manifest(name)
+            if version not in manifest["versions"]:
+                raise KeyError(f"unknown checkpoint {name}:{version}")
+            self._write_manifest(name, {**manifest, "active": version})
+            self._live[name] = snapshot
+        return snapshot
+
+    def active_version(self, name: str) -> Optional[str]:
+        """Currently active version string (``None`` when nothing served)."""
+        with self._lock:
+            live = self._live.get(name)
+            if live is not None:
+                return live.version
+        return self._read_manifest(name).get("active")
+
+    def active(self, name: str) -> ActiveModel:
+        """Snapshot of the live model (loading it on first access)."""
+        with self._lock:
+            live = self._live.get(name)
+            if live is not None:
+                return live
+        # Not yet materialized in this process: resolve from the manifest
+        # (e.g. a fresh process pointed at an existing on-disk registry).
+        version = self._read_manifest(name).get("active")
+        if version is None:
+            raise KeyError(f"model {name!r} has no active version")
+        return self.activate(name, version)
+
+    def __repr__(self) -> str:
+        backend = self.root if self.root is not None else "<memory>"
+        return f"ModelRegistry(root={backend!r}, models={self.names()})"

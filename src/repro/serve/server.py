@@ -1,0 +1,342 @@
+"""Model server: request lifecycle around the micro-batching engine.
+
+:class:`ModelServer` is the front door of ``repro.serve``.  Per request
+it:
+
+1. resolves the model — either a fixed instance or, through a
+   :class:`~repro.serve.registry.ModelRegistry`, whatever version is
+   currently active (hot-swaps take effect between batches);
+2. consults the LRU :class:`~repro.serve.cache.PredictionCache`
+   (keyed on method x version x row bytes);
+3. enqueues the row into the :class:`~repro.serve.batching.MicroBatcher`
+   and blocks until the coalesced batch dispatch fans its result back;
+4. degrades gracefully instead of failing: a **full queue** sheds the
+   request to an inline single-row model call (``serve/shed_total``),
+   and an expired **deadline** cancels the queued request and answers
+   it the same way (``serve/deadline_expired_total``) — callers always
+   get an answer, memory stays bounded.
+
+Every step is instrumented on a
+:class:`~repro.telemetry.metrics.MetricsRegistry`: request/batch/shed
+counters, cache hit/miss counters, a queue-depth gauge and latency /
+batch-size histograms, so a serving process exposes the same snapshot
+machinery as the training loop.
+
+**Numerical note.**  Coalescing changes the BLAS call shapes: a row
+scored inside a ``(32, d)`` batch can differ from the same row scored
+alone by a few ulps (reduction-order effects), so *probabilities* are
+equal only to ~1e-12 while the hard *predictions* (thresholded /
+argmaxed labels) are bit-identical — which is what the equivalence
+tests and the throughput benchmark assert.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..telemetry.metrics import MetricsRegistry
+from .batching import MicroBatcher, ServeRequest
+from .cache import PredictionCache
+from .registry import ModelRegistry
+
+__all__ = ["ModelServer"]
+
+
+class ModelServer:
+    """Serve single-row ``predict``-family queries with micro-batching.
+
+    Parameters
+    ----------
+    model:
+        A fixed model instance to serve, or ``None`` when serving from a
+        registry.
+    registry, name:
+        Serve ``registry.active(name)``; the active version is resolved
+        per batch, so :meth:`ModelRegistry.activate` hot-swaps a running
+        server without restarts.
+    max_batch_size, batch_timeout, max_queue, workers:
+        Micro-batching knobs (see
+        :class:`~repro.serve.batching.MicroBatcher`).
+    cache_size:
+        LRU prediction-cache capacity in rows (0 disables caching).
+    metrics:
+        Shared registry for instruments; a private one is created by
+        default.
+    """
+
+    def __init__(
+        self,
+        model: Any = None,
+        registry: Optional[ModelRegistry] = None,
+        name: Optional[str] = None,
+        max_batch_size: int = 32,
+        batch_timeout: float = 0.002,
+        max_queue: int = 256,
+        workers: int = 2,
+        cache_size: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if (model is None) == (registry is None):
+            raise ValueError("pass exactly one of model= or registry=")
+        if registry is not None and not name:
+            raise ValueError("serving from a registry requires name=")
+        self._model = model
+        self._registry = registry
+        self._name = name
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = PredictionCache(cache_size)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._batcher = MicroBatcher(
+            self._dispatch,
+            max_batch_size=max_batch_size,
+            batch_timeout=batch_timeout,
+            max_queue=max_queue,
+            workers=workers,
+        )
+
+    @property
+    def registry(self) -> Optional[ModelRegistry]:
+        """The backing registry, if serving live models (else ``None``).
+
+        Publishing to it hot-swaps what this server answers with.
+        """
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # Public request API
+    # ------------------------------------------------------------------
+    def predict(self, row: np.ndarray, deadline: Optional[float] = None) -> Any:
+        """Hard label for one sample (blocking)."""
+        return self.request("predict", row, deadline=deadline)
+
+    def predict_proba(
+        self, row: np.ndarray, deadline: Optional[float] = None
+    ) -> Any:
+        """Probability output for one sample (blocking)."""
+        return self.request("predict_proba", row, deadline=deadline)
+
+    def decision_function(
+        self, row: np.ndarray, deadline: Optional[float] = None
+    ) -> Any:
+        """Raw score for one sample (blocking)."""
+        return self.request("decision_function", row, deadline=deadline)
+
+    def request(
+        self, method: str, row: np.ndarray, deadline: Optional[float] = None
+    ) -> Any:
+        """Score one sample via ``method``.
+
+        ``row`` is a single sample *without* the batch axis (a length-1
+        leading axis is squeezed away).  ``deadline`` is a per-request
+        budget in seconds: a request still queued when it expires is
+        cancelled and answered inline instead of erroring.
+        """
+        clock = self.metrics.clock
+        start = clock()
+        if self._closed:
+            raise RuntimeError("server is closed")
+        row = self._normalize_row(row)
+        version, model = self._resolve()
+        if not callable(getattr(model, method, None)):
+            raise ValueError(
+                f"model {type(model).__name__} does not support {method!r}"
+            )
+        self.metrics.counter("serve/requests_total").inc()
+
+        key = None
+        if self.cache.maxsize:
+            key = PredictionCache.make_key(method, version, row)
+            hit, value = self.cache.get(key)
+            if hit:
+                self.metrics.counter("serve/cache_hits_total").inc()
+                self._observe_latency(clock() - start)
+                return value
+            self.metrics.counter("serve/cache_misses_total").inc()
+
+        pending = ServeRequest(method, row, enqueued_at=start)
+        if not self._batcher.submit(pending):
+            # Bounded-queue backpressure: serve inline rather than grow.
+            self.metrics.counter("serve/shed_total").inc()
+            return self._predict_inline(method, row, model, key, start)
+        self._gauge_depth()
+
+        if pending.event.wait(timeout=deadline):
+            return self._finish(pending, start)
+        # Deadline expired while queued: cancel and degrade to the
+        # inline path so the caller still gets an answer.
+        if self._batcher.cancel(pending):
+            self.metrics.counter("serve/deadline_expired_total").inc()
+            return self._predict_inline(method, row, model, key, start)
+        # Already being dispatched; the result is moments away.
+        pending.event.wait()
+        return self._finish(pending, start)
+
+    def predict_many(
+        self, x: np.ndarray, method: str = "predict"
+    ) -> List[Any]:
+        """Submit every row of ``x`` concurrently and wait for all.
+
+        The rows flow through the same queue as individual requests, so
+        they coalesce into micro-batches; order of results matches the
+        row order of ``x``.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        clock = self.metrics.clock
+        results: List[Any] = [None] * len(x)
+        to_submit: List[Tuple[int, ServeRequest]] = []
+        version, model = self._resolve()
+        caching = bool(self.cache.maxsize)
+        requests_total = self.metrics.counter("serve/requests_total")
+        for index, row in enumerate(x):
+            start = clock()
+            row = self._normalize_row(row)
+            requests_total.inc()
+            if caching:
+                key = PredictionCache.make_key(method, version, row)
+                hit, value = self.cache.get(key)
+                if hit:
+                    self.metrics.counter("serve/cache_hits_total").inc()
+                    self._observe_latency(clock() - start)
+                    results[index] = value
+                    continue
+                self.metrics.counter("serve/cache_misses_total").inc()
+            to_submit.append((index, ServeRequest(method, row, enqueued_at=start)))
+        # One bulk enqueue instead of a lock/notify round-trip per row;
+        # whatever exceeds the queue bound is shed to the inline path,
+        # same as a single over-capacity submit.
+        accepted = self._batcher.submit_many(
+            [request for _index, request in to_submit]
+        )
+        self._gauge_depth()
+        for index, request in to_submit[accepted:]:
+            self.metrics.counter("serve/shed_total").inc()
+            key = (
+                PredictionCache.make_key(method, version, request.row)
+                if caching else None
+            )
+            results[index] = self._predict_inline(
+                method, request.row, model, key, request.enqueued_at
+            )
+        for index, request in to_submit[:accepted]:
+            request.event.wait()
+            results[index] = self._finish(request, request.enqueued_at)
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_row(row: np.ndarray) -> np.ndarray:
+        row = np.asarray(row)
+        if row.ndim >= 2 and row.shape[0] == 1:
+            row = row[0]
+        return row
+
+    def _resolve(self) -> Tuple[str, Any]:
+        """Current ``(version, model)`` — re-read per batch for hot-swap."""
+        if self._registry is not None:
+            active = self._registry.active(self._name)
+            return active.version, active.model
+        return "v0", self._model
+
+    def _dispatch(self, method: str, rows: List[np.ndarray]) -> List[Any]:
+        """Score a coalesced batch with a single model call."""
+        version, model = self._resolve()
+        batch = np.stack(rows)
+        with self.metrics.timer("serve/dispatch_seconds"):
+            out = getattr(model, method)(batch)
+        self.metrics.counter("serve/batches_total").inc()
+        self.metrics.histogram("serve/batch_size").observe(len(rows))
+        self._gauge_depth()
+        results = list(out)
+        if self.cache.maxsize:
+            for row, result in zip(rows, results):
+                self.cache.put(
+                    PredictionCache.make_key(method, version, row), result
+                )
+        return results
+
+    def _predict_inline(
+        self, method: str, row: np.ndarray, model: Any, key: bytes, start: float
+    ) -> Any:
+        """Single-item sync path used for shedding and expired deadlines."""
+        result = getattr(model, method)(row[np.newaxis, ...])[0]
+        if key is not None:
+            self.cache.put(key, result)
+        self._observe_latency(self.metrics.clock() - start)
+        return result
+
+    def _finish(self, request: ServeRequest, start: float) -> Any:
+        self._observe_latency(self.metrics.clock() - start)
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def _observe_latency(self, seconds: float) -> None:
+        self.metrics.histogram("serve/latency_seconds").observe(seconds)
+
+    def _gauge_depth(self) -> None:
+        self.metrics.gauge("serve/queue_depth").set(self._batcher.depth())
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker pool (idempotent).
+
+        ``drain=True`` completes queued requests first.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.close(drain=drain)
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> Dict[str, Any]:
+        """Derived serving stats on top of the raw metrics snapshot."""
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        batch_hist = self.metrics.histogram("serve/batch_size")
+        latency_hist = self.metrics.histogram("serve/latency_seconds")
+        stats: Dict[str, Any] = {
+            "requests": counters.get("serve/requests_total", 0.0),
+            "batches": counters.get("serve/batches_total", 0.0),
+            "shed": counters.get("serve/shed_total", 0.0),
+            "deadline_expired": counters.get(
+                "serve/deadline_expired_total", 0.0
+            ),
+            "cache_hit_rate": self.cache.hit_rate,
+            "mean_batch_size": (
+                batch_hist.mean if batch_hist.count else 0.0
+            ),
+            "metrics": snapshot,
+        }
+        if latency_hist.count:
+            stats["latency_p50_ms"] = latency_hist.quantile(0.5) * 1e3
+            stats["latency_p99_ms"] = latency_hist.quantile(0.99) * 1e3
+        return stats
+
+    def __repr__(self) -> str:
+        target = (
+            f"registry:{self._name}" if self._registry is not None
+            else type(self._model).__name__
+        )
+        return (
+            f"ModelServer({target}, max_batch_size="
+            f"{self._batcher.max_batch_size}, closed={self._closed})"
+        )

@@ -72,7 +72,27 @@ def test_input_shape_validated(rng):
     with pytest.raises(ValueError):
         model.predict(rng.normal(size=(5, 4)))
     with pytest.raises(ValueError):
-        model.predict_proba(rng.normal(size=(5,)))
+        model.predict_proba(rng.normal(size=(5,)))  # 1-D but wrong width
+    with pytest.raises(ValueError):
+        model.loss_and_gradients(rng.normal(size=3), np.zeros(1))  # train: 2-D
+
+
+def test_single_1d_row_accepted_uniformly(rng):
+    """predict / predict_proba / decision_function all take one 1-D row."""
+    model = LogisticRegression(3, rng=rng)
+    x = rng.normal(size=(4, 3))
+    row = x[0]
+    assert model.predict(row).shape == (1,)
+    assert model.predict(row)[0] == model.predict(x)[0]
+    assert model.predict_proba(row).shape == (1,)
+    assert model.predict_proba(row)[0] == pytest.approx(
+        model.predict_proba(x)[0], abs=1e-12
+    )
+    assert model.decision_function(row).shape == (1,)
+    assert model.decision_function(row)[0] == pytest.approx(
+        model.decision_function(x)[0], abs=1e-12
+    )
+    assert model.predict([0.0, 1.0, 2.0]).shape == (1,)  # list input too
 
 
 def test_decision_function_is_logit(rng):

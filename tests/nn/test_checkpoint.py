@@ -50,6 +50,46 @@ def test_strict_mismatch_raises():
     load_network_state_dict(net, state, strict=False)  # lenient mode works
 
 
+def test_clean_load_reports_all_loaded():
+    net = small_net()
+    report = load_network_state_dict(net, network_state_dict(net))
+    assert report.clean
+    assert set(report.loaded) == {
+        "fc1/weight", "fc1/bias", "fc2/weight", "fc2/bias"
+    }
+    assert report.missing == () and report.unexpected == ()
+
+
+def test_lenient_load_reports_missing_and_unexpected_keys():
+    net = small_net()
+    state = network_state_dict(net)
+    del state["fc2/bias"]                      # model param not in state
+    state["fc9/weight"] = np.zeros((2, 2))     # state entry not on model
+    report = load_network_state_dict(net, state, strict=False)
+    assert not report.clean
+    assert report.missing == ("fc2/bias",)
+    assert report.unexpected == ("fc9/weight",)
+    assert "fc2/bias" not in report.loaded
+    assert len(report.loaded) == 3
+    assert "fc9/weight" in str(report)
+
+
+def test_load_network_weights_returns_report(tmp_path):
+    source = small_net(seed=1)
+    path = str(tmp_path / "weights.npz")
+    save_network(source, path)
+    target = small_net(seed=2)
+    report = load_network_weights(target, path)
+    assert report.clean and len(report.loaded) == 4
+    # Lenient load into a different architecture names the gaps.
+    wider = Network([Dense("fc1", 4, 8, rng=np.random.default_rng(0)),
+                     ReLU("r"),
+                     Dense("fc3", 8, 2, rng=np.random.default_rng(0))])
+    report = load_network_weights(wider, path, strict=False)
+    assert report.missing == ("fc3/bias", "fc3/weight")
+    assert report.unexpected == ("fc2/bias", "fc2/weight")
+
+
 def test_shape_mismatch_raises():
     net = small_net()
     state = network_state_dict(net)

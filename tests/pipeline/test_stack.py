@@ -76,3 +76,21 @@ def test_unknown_alignment_rejected(raw_and_labels):
     stack = make_stack(lambda m: None, epochs=1)
     with pytest.raises(ValueError):
         stack.run(raw, labels, label_alignment="fuzzy")
+
+
+def test_serve_publishes_and_answers_like_trained_model(raw_and_labels):
+    raw, labels = raw_and_labels
+    stack = make_stack(lambda m: L2Regularizer(1.0), epochs=2)
+    result = stack.run(raw, labels, seed=0, drop_columns=["patient_id"])
+    assert result.encoder is not None  # run() now exposes the fitted encoder
+
+    with stack.serve(result, name="readmission", cache_size=0) as server:
+        rows = np.random.default_rng(7).normal(
+            size=(24, result.model.n_features)
+        )
+        served = np.array(server.predict_many(rows))
+        assert np.array_equal(served, result.model.predict(rows))
+        assert server.registry.active_version("readmission") == "v0001"
+        meta = server.registry.metadata("readmission", "v0001")
+        assert meta["test_accuracy"] == pytest.approx(result.test_accuracy)
+        assert "cleaned" in meta["commits"]

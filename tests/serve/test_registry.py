@@ -1,0 +1,205 @@
+"""Checkpoint round-trips and hot-swap behavior of the model registry."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.linear.logistic import LogisticRegression
+from repro.nn import Network
+from repro.nn.layers import Dense, ReLU
+from repro.serve import CheckpointIncompatible, ModelRegistry
+
+
+def make_linear(seed=0, d=8):
+    return LogisticRegression(d, rng=np.random.default_rng(seed))
+
+
+def make_mlp(seed=0, d=6, hidden=5):
+    rng = np.random.default_rng(seed)
+    return Network([
+        Dense("fc1", d, hidden, rng=rng),
+        ReLU("r"),
+        Dense("fc2", hidden, 3, rng=rng),
+    ])
+
+
+@pytest.fixture
+def x():
+    return np.random.default_rng(42).normal(size=(16, 8))
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+def test_linear_roundtrip_in_memory(x):
+    registry = ModelRegistry()
+    registry.register("lin", lambda: make_linear(seed=99))
+    model = make_linear(seed=1)
+    version = registry.publish("lin", model)
+    assert version == "v0001"
+    reloaded = registry.load("lin", version)
+    assert np.array_equal(reloaded.weights, model.weights)
+    assert np.array_equal(reloaded.bias, model.bias)
+    assert np.array_equal(reloaded.predict_proba(x), model.predict_proba(x))
+
+
+def test_deep_roundtrip_on_disk(tmp_path):
+    registry = ModelRegistry(str(tmp_path / "models"))
+    registry.register("mlp", lambda: make_mlp(seed=99))
+    model = make_mlp(seed=3)
+    version = registry.publish("mlp", model)
+    reloaded = registry.load("mlp", version)
+    data = np.random.default_rng(0).normal(size=(4, 6))
+    assert np.array_equal(
+        reloaded.forward(data, training=False),
+        model.forward(data, training=False),
+    )
+    # Checkpoints survive a fresh registry over the same directory.
+    fresh = ModelRegistry(str(tmp_path / "models"))
+    fresh.register("mlp", lambda: make_mlp(seed=123))
+    again = fresh.load("mlp", version)
+    assert np.array_equal(
+        again.forward(data, training=False), model.forward(data, training=False)
+    )
+
+
+def test_published_state_is_snapshotted(x):
+    registry = ModelRegistry()
+    registry.register("lin", lambda: make_linear())
+    model = make_linear(seed=1)
+    version = registry.publish("lin", model)
+    before = model.weights.copy()
+    model.weights += 1.0  # keep training after publishing
+    assert np.array_equal(registry.load("lin", version).weights, before)
+
+
+def test_logistic_is_self_describing_without_factory(tmp_path):
+    # Publish in one process/registry, load in another with no factory:
+    # the metadata records model_kind/n_features.
+    root = str(tmp_path / "models")
+    model = make_linear(seed=5)
+    ModelRegistry(root).publish("lin", model)
+    fresh = ModelRegistry(root)
+    active = fresh.active("lin")
+    assert active.version == "v0001"
+    assert np.array_equal(active.model.weights, model.weights)
+
+
+# ----------------------------------------------------------------------
+# Versioning and activation
+# ----------------------------------------------------------------------
+def test_versions_accumulate_and_activate_picks_one(x):
+    registry = ModelRegistry()
+    registry.register("lin", lambda: make_linear())
+    m1, m2 = make_linear(seed=1), make_linear(seed=2)
+    v1 = registry.publish("lin", m1)
+    v2 = registry.publish("lin", m2)
+    assert registry.versions("lin") == [v1, v2] == ["v0001", "v0002"]
+    assert registry.active_version("lin") == v2
+    registry.activate("lin", v1)  # roll back
+    assert registry.active_version("lin") == v1
+    assert np.array_equal(registry.active("lin").model.weights, m1.weights)
+
+
+def test_publish_without_activate_keeps_current_live():
+    registry = ModelRegistry()
+    registry.register("lin", lambda: make_linear())
+    v1 = registry.publish("lin", make_linear(seed=1))
+    registry.publish("lin", make_linear(seed=2), activate=False)
+    assert registry.active_version("lin") == v1
+
+
+def test_metadata_records_shapes_and_extras():
+    registry = ModelRegistry()
+    registry.register("lin", lambda: make_linear())
+    version = registry.publish(
+        "lin", make_linear(), metadata={"test_accuracy": 0.9}
+    )
+    meta = registry.metadata("lin", version)
+    assert meta["parameters"]["weights"] == [8]
+    assert meta["n_parameters"] == 9
+    assert meta["test_accuracy"] == 0.9
+    assert meta["model_kind"] == "logistic"
+
+
+def test_unknown_version_and_name_raise():
+    registry = ModelRegistry()
+    registry.register("lin", lambda: make_linear())
+    with pytest.raises(KeyError):
+        registry.load("lin")  # nothing published yet
+    registry.publish("lin", make_linear())
+    with pytest.raises(KeyError):
+        registry.load("lin", "v0666")
+    with pytest.raises(KeyError):
+        registry.activate("lin", "v0666")
+    with pytest.raises(KeyError):
+        registry.active("ghost")
+
+
+# ----------------------------------------------------------------------
+# Compatibility checking (LoadReport-based)
+# ----------------------------------------------------------------------
+def test_incompatible_architecture_names_keys():
+    registry = ModelRegistry()
+    registry.publish("mlp", make_mlp(seed=1))
+    registry.register("mlp", lambda: make_linear())  # wrong architecture
+    with pytest.raises(CheckpointIncompatible) as excinfo:
+        registry.load("mlp", "v0001")
+    report = excinfo.value.report
+    assert "weights" in report.missing
+    assert "fc1/weight" in report.unexpected
+    assert "fc1/weight" in str(excinfo.value)
+
+
+def test_allow_partial_loads_intersection():
+    registry = ModelRegistry()
+    registry.publish("mlp", make_mlp(seed=1))
+    registry.register("mlp", lambda: make_linear())
+    model = registry.load("mlp", "v0001", allow_partial=True)
+    assert isinstance(model, LogisticRegression)  # nothing matched, no error
+
+
+# ----------------------------------------------------------------------
+# Hot-swap under concurrent readers
+# ----------------------------------------------------------------------
+def test_hot_swap_with_concurrent_readers():
+    d = 8
+    registry = ModelRegistry()
+    registry.register("lin", lambda: LogisticRegression(d, weight_init_std=0.0))
+    m1, m2 = make_linear(seed=1, d=d), make_linear(seed=2, d=d)
+    registry.publish("lin", m1)
+
+    data = np.random.default_rng(0).normal(size=(4, d))
+    p1, p2 = m1.predict_proba(data), m2.predict_proba(data)
+    assert not np.allclose(p1, p2)  # the swap must be observable
+
+    swapped = threading.Event()
+    consistent = threading.Event()
+    consistent.set()
+
+    def reader():
+        while not swapped.is_set() or not registry.active("lin").version == "v0002":
+            active = registry.active("lin")
+            probs = active.model.predict_proba(data)
+            # Every read sees a *whole* version: its predictions match
+            # exactly one of the two published models.
+            if not (np.array_equal(probs, p1) or np.array_equal(probs, p2)):
+                consistent.clear()
+                return
+        # After the swap is visible, it must stay v0002.
+        if not np.array_equal(
+            registry.active("lin").model.predict_proba(data), p2
+        ):
+            consistent.clear()
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    registry.publish("lin", m2)  # atomic hot-swap to v0002
+    swapped.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+    assert consistent.is_set()
+    assert registry.active_version("lin") == "v0002"

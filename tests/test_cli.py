@@ -1,5 +1,6 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,6 +53,49 @@ def test_parser_accepts_telemetry_flags():
     args = build_parser().parse_args(["table2"])
     assert args.telemetry_out is None
     assert args.log_metrics is False
+
+
+def test_parser_accepts_serve_commands():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--requests", "40", "--max-batch", "8"])
+    assert args.experiment == "serve"
+    assert args.requests == 40 and args.max_batch == 8
+    args = parser.parse_args(
+        ["predict", "--registry", "models", "--input", "rows.npy", "--proba"]
+    )
+    assert args.experiment == "predict" and args.proba is True
+
+
+def test_serve_smoke_and_predict_roundtrip(tmp_path, capsys):
+    registry = str(tmp_path / "models")
+    assert main(["serve", "--fast", "--requests", "40", "--max-batch", "8",
+                 "--registry", registry]) == 0
+    out = capsys.readouterr().out
+    assert "serve smoke test OK" in out
+    assert "published synthetic-readmission:v0001" in out
+
+    # The published model is self-describing: predict scores rows from a
+    # file against the registry with no retraining.
+    import json
+
+    meta = json.loads(
+        (tmp_path / "models" / "synthetic-readmission" / "v0001.meta.json")
+        .read_text()
+    )
+    rows = np.random.default_rng(0).normal(size=(3, meta["n_features"]))
+    inputs = tmp_path / "rows.npy"
+    np.save(inputs, rows)
+    assert main(["predict", "--registry", registry,
+                 "--input", str(inputs)]) == 0
+    out = capsys.readouterr().out
+    printed = [line for line in out.splitlines()
+               if line.strip() in {"0", "1"}]
+    assert len(printed) == 3
+
+
+def test_predict_requires_registry_and_input():
+    with pytest.raises(SystemExit):
+        main(["predict"])
 
 
 def test_telemetry_flags_write_log_and_print_summary(tmp_path, capsys):
