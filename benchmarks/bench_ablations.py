@@ -72,5 +72,5 @@ def test_ablation_per_layer_vs_global_gm(benchmark, report):
     # The paper's per-layer design must be at least competitive.
     assert outcome.per_layer_accuracy >= outcome.global_accuracy - 0.05
     # Per-layer mixtures genuinely differ across layers.
-    lams = [np.sort(l)[-1] for l in outcome.per_layer_lambdas.values()]
+    lams = [np.sort(lam)[-1] for lam in outcome.per_layer_lambdas.values()]
     assert max(lams) / max(min(lams), 1e-9) > 1.05

@@ -141,15 +141,17 @@ def merge_similar_components(
     pi, lam = np.asarray(pi)[order], np.asarray(lam)[order]
     merged_pi = [pi[0]]
     merged_lam = [lam[0]]
-    for p, l in zip(pi[1:], lam[1:]):
+    for p, lam_k in zip(pi[1:], lam[1:]):
         last = merged_lam[-1]
-        if abs(l - last) <= rel_tol * max(abs(l), abs(last)):
+        if abs(lam_k - last) <= rel_tol * max(abs(lam_k), abs(last)):
             total = merged_pi[-1] + p
-            merged_lam[-1] = (merged_pi[-1] * last + p * l) / max(total, 1e-300)
+            merged_lam[-1] = (
+                merged_pi[-1] * last + p * lam_k
+            ) / max(total, 1e-300)
             merged_pi[-1] = total
         else:
             merged_pi.append(p)
-            merged_lam.append(l)
+            merged_lam.append(lam_k)
     return np.asarray(merged_pi), np.asarray(merged_lam)
 
 

@@ -19,12 +19,11 @@ verbatim (PEP 8-cased): :meth:`cal_responsibility`,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from .em import em_step, gm_loss_terms
-from .gaussian_mixture import GaussianMixture
 from .hyperparams import GMHyperParams
 from .initialization import base_precision_from_weight_init, initialize_mixture
 from .lazy import LazyUpdateSchedule
@@ -80,7 +79,7 @@ class GMRegularizer(Regularizer):
         schedule: Optional[LazyUpdateSchedule] = None,
         prune_components: bool = True,
         merge_components: bool = True,
-    ):
+    ) -> None:
         if n_dimensions < 1:
             raise ValueError(f"n_dimensions must be >= 1, got {n_dimensions}")
         self.n_dimensions = int(n_dimensions)
@@ -178,7 +177,10 @@ class GMRegularizer(Regularizer):
         """
         if self._cached_reg_grad is None:
             self.prepare(w, iteration=0)
-        assert self._cached_reg_grad is not None
+        if self._cached_reg_grad is None:
+            raise RuntimeError(
+                "prepare() did not populate the regularizer gradient cache"
+            )
         return self._cached_reg_grad.reshape(np.asarray(w).shape)
 
     def update(self, w: np.ndarray, iteration: int) -> None:
@@ -190,7 +192,7 @@ class GMRegularizer(Regularizer):
         """Advance the epoch counter used by the lazy schedule."""
         self._epoch = epoch + 1
 
-    def telemetry_state(self) -> dict:
+    def telemetry_state(self) -> Dict[str, Any]:
         """Current mixture state for telemetry (Fig. 3 observables).
 
         ``n_components`` is the *effective* component count after the
@@ -199,7 +201,7 @@ class GMRegularizer(Regularizer):
         """
         return {
             "pi": [float(p) for p in self.mixture.pi],
-            "lam": [float(l) for l in self.mixture.lam],
+            "lam": [float(lam_k) for lam_k in self.mixture.lam],
             "n_components": int(self.mixture.n_components),
             "estep_count": self._n_estep,
             "mstep_count": self._n_mstep,

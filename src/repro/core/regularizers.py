@@ -106,7 +106,7 @@ class L1Regularizer(Regularizer):
     SGD treatment and what the paper's L1 baseline does.
     """
 
-    def __init__(self, strength: float):
+    def __init__(self, strength: float) -> None:
         if strength < 0.0:
             raise ValueError(f"strength must be non-negative, got {strength}")
         self.strength = float(strength)
@@ -129,7 +129,7 @@ class L2Regularizer(Regularizer):
     single-component special case of GM regularization (Section VI-A).
     """
 
-    def __init__(self, strength: float):
+    def __init__(self, strength: float) -> None:
         if strength < 0.0:
             raise ValueError(f"strength must be non-negative, got {strength}")
         self.strength = float(strength)
@@ -153,7 +153,7 @@ class ElasticNetRegularizer(Regularizer):
     (1); the paper tunes it per dataset in Table VII.
     """
 
-    def __init__(self, strength: float, l1_ratio: float = 0.5):
+    def __init__(self, strength: float, l1_ratio: float = 0.5) -> None:
         if strength < 0.0:
             raise ValueError(f"strength must be non-negative, got {strength}")
         if not 0.0 <= l1_ratio <= 1.0:
@@ -192,7 +192,7 @@ class HuberRegularizer(Regularizer):
     differentiable joint at ``|x| = mu``.
     """
 
-    def __init__(self, strength: float, mu: float = 1.0):
+    def __init__(self, strength: float, mu: float = 1.0) -> None:
         if strength < 0.0:
             raise ValueError(f"strength must be non-negative, got {strength}")
         if mu <= 0.0:

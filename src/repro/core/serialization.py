@@ -10,7 +10,7 @@ run continues byte-for-byte where it left off.
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
@@ -25,7 +25,7 @@ __all__ = ["gm_regularizer_to_dict", "gm_regularizer_from_dict",
 _FORMAT_VERSION = 1
 
 
-def gm_regularizer_to_dict(reg: GMRegularizer) -> Dict:
+def gm_regularizer_to_dict(reg: GMRegularizer) -> Dict[str, Any]:
     """Serialize the regularizer to a JSON-compatible dict."""
     return {
         "format_version": _FORMAT_VERSION,
@@ -58,7 +58,7 @@ def gm_regularizer_to_dict(reg: GMRegularizer) -> Dict:
     }
 
 
-def gm_regularizer_from_dict(state: Dict) -> GMRegularizer:
+def gm_regularizer_from_dict(state: Dict[str, Any]) -> GMRegularizer:
     """Reconstruct a regularizer from :func:`gm_regularizer_to_dict`."""
     version = state.get("format_version")
     if version != _FORMAT_VERSION:

@@ -215,7 +215,11 @@ def attach_global_gm(network: Network) -> GMRegularizer:
     def factory(name: str, m: int, std: float) -> Optional[Regularizer]:
         del std
         offset, size = offsets[name]
-        assert size == m
+        if size != m:
+            raise ValueError(
+                f"regularizer {name!r} spans {m} weights but the shared "
+                f"layout reserved {size}"
+            )
         return _SharedGMAdapter(shared, offset, m, state)
 
     network.attach_regularizers(factory)

@@ -231,7 +231,11 @@ def fit_gm_mixture_for_dataset(
     reg = make_regularizer(
         "gm", n_dimensions=x.shape[1], params={"gamma": gamma}
     )
-    assert isinstance(reg, GMRegularizer)
+    if not isinstance(reg, GMRegularizer):
+        raise TypeError(
+            f"expected make_regularizer('gm', ...) to build a GMRegularizer, "
+            f"got {type(reg).__name__}"
+        )
     model = LogisticRegression(
         x.shape[1], regularizer=reg, rng=np.random.default_rng(seed)
     )

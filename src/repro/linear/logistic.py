@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.regularizers import Regularizer
+from ..rng import default_generator
 from ..optim.trainer import Parameter
 
 __all__ = ["LogisticRegression", "sigmoid"]
@@ -64,7 +65,7 @@ class LogisticRegression:
             raise ValueError(
                 f"weight_init_std must be non-negative, got {weight_init_std}"
             )
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else default_generator()
         self.n_features = int(n_features)
         self.weights = rng.normal(0.0, weight_init_std, size=n_features)
         self.bias = np.zeros(1)

@@ -64,7 +64,7 @@ def precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[float, 
     tp, fp, fn, _tn = confusion_counts(y_true, y_pred)
     precision = tp / (tp + fp) if (tp + fp) else 0.0
     recall = tp / (tp + fn) if (tp + fn) else 0.0
-    if precision + recall == 0.0:
+    if precision + recall <= 0.0:
         return precision, recall, 0.0
     f1 = 2.0 * precision * recall / (precision + recall)
     return precision, recall, f1

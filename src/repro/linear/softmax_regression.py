@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.regularizers import Regularizer
+from ..rng import default_generator
 from ..nn.layers.loss import softmax
 from ..optim.trainer import Parameter
 
@@ -48,7 +49,7 @@ class SoftmaxRegression:
             raise ValueError(f"n_features must be >= 1, got {n_features}")
         if n_classes < 2:
             raise ValueError(f"n_classes must be >= 2, got {n_classes}")
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else default_generator()
         self.n_features = int(n_features)
         self.n_classes = int(n_classes)
         self.weights = rng.normal(

@@ -23,7 +23,7 @@ checkpoint/architecture compatibility check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -63,13 +63,13 @@ class LoadReport:
         )
 
 
-def network_state_dict(model) -> Dict[str, np.ndarray]:
+def network_state_dict(model: Any) -> Dict[str, np.ndarray]:
     """``{qualified_name: array copy}`` of all trainable parameters."""
     return {p.name: p.value.copy() for p in model.parameters()}
 
 
 def load_network_state_dict(
-    model, state: Dict[str, np.ndarray], strict: bool = True
+    model: Any, state: Dict[str, np.ndarray], strict: bool = True
 ) -> LoadReport:
     """Copy arrays from ``state`` into the model's parameters in place.
 

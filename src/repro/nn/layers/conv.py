@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...rng import default_generator
 from ..im2col import col2im, im2col
 from .base import Layer
 
@@ -50,7 +51,7 @@ class Conv2D(Layer):
             raise ValueError("channels, kernel_size and stride must be >= 1")
         if pad < 0:
             raise ValueError(f"pad must be >= 0, got {pad}")
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else default_generator()
         fan_in = in_channels * kernel_size * kernel_size
         if weight_init_std is None:
             weight_init_std = float(np.sqrt(2.0 / fan_in))

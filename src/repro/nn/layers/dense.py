@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...rng import default_generator
 from .base import Layer
 
 __all__ = ["Dense"]
@@ -40,7 +41,7 @@ class Dense(Layer):
         super().__init__(name)
         if min(in_features, out_features) < 1:
             raise ValueError("in_features and out_features must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else default_generator()
         if weight_init_std is None:
             weight_init_std = float(np.sqrt(2.0 / in_features))
         self.weight_init_std = float(weight_init_std)

@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...rng import default_generator
 from .base import Layer
 
 __all__ = ["Dropout"]
@@ -40,11 +41,11 @@ class Dropout(Layer):
         if not 0.0 <= drop_prob < 1.0:
             raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
         self.drop_prob = float(drop_prob)
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng if rng is not None else default_generator()
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        if not training or self.drop_prob == 0.0:
+        if not training or self.drop_prob <= 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.drop_prob
@@ -55,7 +56,7 @@ class Dropout(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             # Training forward ran with drop_prob == 0 (identity).
-            if self.drop_prob == 0.0:
+            if self.drop_prob <= 0.0:
                 return grad_out
             raise RuntimeError(f"{self.name}: backward before training forward")
         return grad_out * self._mask

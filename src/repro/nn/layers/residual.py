@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ...rng import default_generator
 from .base import Layer
 from .conv import Conv2D
 from .norm import BatchNorm2D
@@ -46,7 +47,7 @@ class ResidualBlock(Layer):
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__(name)
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else default_generator()
         self.conv1 = Conv2D(
             f"{name}-br1-conv1", in_channels, out_channels, 3, stride=stride,
             pad=1, rng=rng,
@@ -74,7 +75,10 @@ class ResidualBlock(Layer):
         kids: List[Layer] = [self.conv1, self.bn1, self.conv2, self.bn2]
         if self.projection is not None:
             kids.append(self.projection)
-            assert self.projection_bn is not None
+            if self.projection_bn is None:
+                raise RuntimeError(
+                    f"{self.name}: projection exists without projection_bn"
+                )
             kids.append(self.projection_bn)
         return kids
 
@@ -97,7 +101,10 @@ class ResidualBlock(Layer):
         branch = self.conv2.forward(branch, training)
         branch = self.bn2.forward(branch, training)
         if self.projection is not None:
-            assert self.projection_bn is not None
+            if self.projection_bn is None:
+                raise RuntimeError(
+                    f"{self.name}: projection exists without projection_bn"
+                )
             shortcut = self.projection_bn.forward(
                 self.projection.forward(x, training), training
             )
@@ -126,7 +133,10 @@ class ResidualBlock(Layer):
         grad_branch = self.conv1.backward(grad_branch)
         # Shortcut branch.
         if self.projection is not None:
-            assert self.projection_bn is not None
+            if self.projection_bn is None:
+                raise RuntimeError(
+                    f"{self.name}: projection exists without projection_bn"
+                )
             grad_shortcut = self.projection.backward(
                 self.projection_bn.backward(grad)
             )

@@ -44,6 +44,7 @@ from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from ..core.regularizers import Regularizer
+from ..rng import default_generator
 from ..telemetry.events import (
     BatchInfo,
     Callback,
@@ -238,7 +239,7 @@ class Trainer:
         n = x.shape[0]
         if y.shape[0] != n:
             raise ValueError(f"x and y disagree on sample count: {n} vs {y.shape[0]}")
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else default_generator()
         # Prior counted once vs. likelihood summed over N samples: with a
         # mean per-sample loss the regularizer enters at weight 1/N.
         self._reg_scale = 1.0 / float(n)

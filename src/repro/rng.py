@@ -1,0 +1,92 @@
+"""The project's sanctioned source of default random generators.
+
+Every stochastic component in this reproduction takes an injected
+``numpy.random.Generator`` so that paper-level results (Table 2
+accuracies, Fig. 5-7 timings on identical iterates) are replayable
+bit-for-bit.  But constructors still want a *fallback* when the caller
+does not care about the stream — and the naive fallback,
+``np.random.default_rng()`` with no seed, silently reintroduces
+irreproducibility (OS entropy on every call).
+
+This module is the one place unseeded-looking defaults are allowed
+(the ``RNG-DETERMINISM`` lint rule exempts exactly this file):
+
+- :func:`default_generator` returns a **deterministic yet distinct**
+  generator per call, by spawning children of one process-wide root
+  ``SeedSequence`` seeded with :data:`REPRO_DEFAULT_SEED`.  Two layers
+  built without explicit ``rng=`` get different streams (their weights
+  differ, as before), but re-running the program replays both streams
+  exactly.
+- :func:`spawn` derives an independent generator from ``(seed, *keys)``
+  — the pattern the dataset builders already use via nested
+  ``SeedSequence`` — without colliding with ``seed + 1`` style offsets.
+- :func:`set_default_seed` re-roots the process-wide sequence (tests
+  use this to isolate themselves); it returns the previous seed so
+  callers can restore it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "REPRO_DEFAULT_SEED",
+    "default_generator",
+    "set_default_seed",
+    "spawn",
+]
+
+#: Root seed for all implicitly created generators (the paper's venue
+#: year makes it greppable; the value itself is arbitrary).
+REPRO_DEFAULT_SEED = 2018
+
+_state_lock = threading.Lock()
+_current_seed: int = REPRO_DEFAULT_SEED
+_root: np.random.SeedSequence = np.random.SeedSequence(REPRO_DEFAULT_SEED)
+
+
+def default_generator(
+    seed: Optional[Union[int, np.random.SeedSequence]] = None,
+) -> np.random.Generator:
+    """A seeded generator; the project-wide replacement for unseeded
+    ``np.random.default_rng()``.
+
+    With ``seed=None`` the process-wide root sequence spawns a fresh
+    child: deterministic given the program's call order, distinct from
+    every other spawned stream.  With an explicit ``seed`` this is just
+    ``np.random.default_rng(seed)``.
+    """
+    if seed is not None:
+        return np.random.default_rng(seed)
+    with _state_lock:
+        child = _root.spawn(1)[0]
+    return np.random.default_rng(child)
+
+
+def spawn(seed: int, *keys: Union[int, Iterable[int]]) -> np.random.Generator:
+    """An independent generator keyed by ``(seed, *keys)``.
+
+    Unlike ``seed + k`` offsets, nested ``SeedSequence`` entropy never
+    collides across components: ``spawn(7, 1)`` and ``spawn(8, 0)`` are
+    unrelated streams.
+    """
+    flat = [seed]
+    for key in keys:
+        if isinstance(key, int):
+            flat.append(key)
+        else:
+            flat.extend(int(part) for part in key)
+    return np.random.default_rng(np.random.SeedSequence(flat))
+
+
+def set_default_seed(seed: int) -> int:
+    """Re-root the process-wide sequence; returns the previous seed."""
+    global _current_seed, _root
+    with _state_lock:
+        previous = _current_seed
+        _current_seed = int(seed)
+        _root = np.random.SeedSequence(_current_seed)
+    return previous

@@ -49,7 +49,7 @@ class ServeRequest:
     __slots__ = ("row", "method", "event", "result", "error", "state",
                  "enqueued_at")
 
-    def __init__(self, method: str, row: np.ndarray, enqueued_at: float):
+    def __init__(self, method: str, row: np.ndarray, enqueued_at: float) -> None:
         self.method = method
         self.row = row
         self.event = threading.Event()
@@ -92,7 +92,7 @@ class MicroBatcher:
         batch_timeout: float = 0.002,
         max_queue: int = 256,
         workers: int = 2,
-    ):
+    ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if batch_timeout < 0:

@@ -36,7 +36,7 @@ class PredictionCache:
     metrics.
     """
 
-    def __init__(self, maxsize: int = 1024):
+    def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = int(maxsize)

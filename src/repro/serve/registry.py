@@ -47,7 +47,7 @@ ModelFactory = Callable[[], Any]
 class CheckpointIncompatible(RuntimeError):
     """A checkpoint does not fit the architecture built by the factory."""
 
-    def __init__(self, name: str, version: str, report: LoadReport):
+    def __init__(self, name: str, version: str, report: LoadReport) -> None:
         self.model_name = name
         self.version = version
         self.report = report
@@ -110,7 +110,7 @@ class ModelRegistry:
         active = registry.active("readmission")               # -> v2 snapshot
     """
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None) -> None:
         self.root = root
         self._lock = threading.RLock()
         self._factories: Dict[str, ModelFactory] = {}
@@ -138,7 +138,10 @@ class ModelRegistry:
     # Storage backend helpers
     # ------------------------------------------------------------------
     def _model_dir(self, name: str) -> str:
-        assert self.root is not None
+        if self.root is None:
+            raise RuntimeError(
+                "in-memory registry has no model directory (root=None)"
+            )
         return os.path.join(self.root, name)
 
     def _manifest_path(self, name: str) -> str:
@@ -157,7 +160,8 @@ class ModelRegistry:
         except FileNotFoundError:
             return {"versions": [], "active": None}
 
-    def _write_manifest(self, name: str, manifest: Dict[str, Any]) -> None:
+    def _write_manifest_locked(self, name: str, manifest: Dict[str, Any]) -> None:
+        # *_locked: every caller must hold self._lock.
         if self.root is None:
             self._memory.setdefault(name, {"versions": {}})[
                 "active"
@@ -240,7 +244,7 @@ class ModelRegistry:
                     fh.write("\n")
             manifest["versions"] = manifest["versions"] + [version]
             active = version if activate else manifest["active"]
-            self._write_manifest(name, {**manifest, "active": active})
+            self._write_manifest_locked(name, {**manifest, "active": active})
             if activate:
                 # The published model is already fully materialized, so no
                 # factory round-trip is needed (models without a registered
@@ -326,7 +330,7 @@ class ModelRegistry:
             manifest = self._read_manifest(name)
             if version not in manifest["versions"]:
                 raise KeyError(f"unknown checkpoint {name}:{version}")
-            self._write_manifest(name, {**manifest, "active": version})
+            self._write_manifest_locked(name, {**manifest, "active": version})
             self._live[name] = snapshot
         return snapshot
 

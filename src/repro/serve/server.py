@@ -33,7 +33,8 @@ tests and the throughput benchmark assert.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -78,7 +79,7 @@ class ModelServer:
         workers: int = 2,
         cache_size: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
         if registry is not None and not name:
@@ -262,7 +263,12 @@ class ModelServer:
         return results
 
     def _predict_inline(
-        self, method: str, row: np.ndarray, model: Any, key: bytes, start: float
+        self,
+        method: str,
+        row: np.ndarray,
+        model: Any,
+        key: Optional[bytes],
+        start: float,
     ) -> Any:
         """Single-item sync path used for shedding and expired deadlines."""
         result = getattr(model, method)(row[np.newaxis, ...])[0]
@@ -300,7 +306,12 @@ class ModelServer:
     def __enter__(self) -> "ModelServer":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     @property

@@ -191,7 +191,12 @@ class PhaseTimer:
         self.start()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         self.stop()
 
     @property

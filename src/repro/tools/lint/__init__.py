@@ -1,0 +1,39 @@
+"""Project-specific static analysis for the GM-regularizer reproduction.
+
+Generic linters cannot state this project's invariants — that every
+random draw comes from an injected seeded ``Generator``, that the
+serving layer's lock-guarded attributes stay guarded, that metrics go
+through the sanctioned :class:`~repro.telemetry.metrics.MetricsRegistry`
+accessors.  This package encodes them as AST rules with CI-friendly
+plumbing (JSON output, exit codes, per-line suppressions, a committed
+baseline for accepted debt).
+
+Run it as ``python -m repro.tools.lint src/``.
+"""
+
+from .baseline import Baseline, DEFAULT_BASELINE_NAME
+from .engine import (
+    Finding,
+    LintContext,
+    LintResult,
+    Rule,
+    fingerprint,
+    lint_source,
+    run_lint,
+)
+from .rules import ALL_RULES, default_rules, rules_by_name
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "default_rules",
+    "fingerprint",
+    "lint_source",
+    "rules_by_name",
+    "run_lint",
+]

@@ -1,0 +1,138 @@
+"""Committed baseline of accepted findings.
+
+Pre-existing debt (or deliberate exceptions) should not make CI red —
+but any *new* violation must.  The baseline file records accepted
+findings by fingerprint (path + rule + stripped source line, so line
+drift does not invalidate it) with an explicit ``justification`` string
+per entry.  ``python -m repro.tools.lint src/ --write-baseline``
+regenerates the file from the current findings; hand-edit the
+justifications afterwards.
+
+Matching is counted: an entry with ``count: 2`` absorbs at most two
+identical findings, so duplicating a baselined violation still fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Finding
+
+__all__ = ["Baseline", "BaselineMatcher", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    line_content: str
+    count: int = 1
+    justification: str = ""
+
+
+class BaselineMatcher:
+    """Mutable per-run view: each finding consumes one unit of budget."""
+
+    def __init__(self, budgets: Dict[str, int]):
+        self._budgets = dict(budgets)
+
+    def absorb(self, finding: "Finding") -> bool:
+        from .engine import fingerprint
+
+        key = fingerprint(finding)
+        remaining = self._budgets.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._budgets[key] = remaining - 1
+        return True
+
+
+class Baseline:
+    """The committed set of accepted findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = list(entries)
+
+    def matcher(self) -> BaselineMatcher:
+        budgets: Dict[str, int] = {}
+        for entry in self.entries:
+            budgets[entry.fingerprint] = budgets.get(entry.fingerprint, 0) + max(
+                entry.count, 0
+            )
+        return BaselineMatcher(budgets)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = [
+            BaselineEntry(
+                fingerprint=item["fingerprint"],
+                rule=item.get("rule", ""),
+                path=item.get("path", ""),
+                line_content=item.get("line_content", ""),
+                count=int(item.get("count", 1)),
+                justification=item.get("justification", ""),
+            )
+            for item in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load_default(cls, start_dir: str = ".") -> "Baseline":
+        """Baseline from ``.reprolint-baseline.json`` in ``start_dir`` (or
+        an empty baseline when the file does not exist)."""
+        path = os.path.join(start_dir, DEFAULT_BASELINE_NAME)
+        if os.path.isfile(path):
+            return cls.load(path)
+        return cls()
+
+    @classmethod
+    def from_findings(cls, findings: Sequence["Finding"]) -> "Baseline":
+        from .engine import fingerprint
+
+        grouped: Dict[str, BaselineEntry] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            entry = grouped.get(key)
+            if entry is None:
+                grouped[key] = BaselineEntry(
+                    fingerprint=key,
+                    rule=finding.rule,
+                    path=finding.path,
+                    line_content=finding.source_line.strip(),
+                    count=1,
+                    justification="TODO: justify or fix",
+                )
+            else:
+                entry.count += 1
+        return cls(sorted(grouped.values(), key=lambda e: (e.path, e.rule)))
+
+    def dump(self, path: str) -> None:
+        payload = {
+            "version": 1,
+            "tool": "repro.tools.lint",
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "line_content": entry.line_content,
+                    "count": entry.count,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")

@@ -1,0 +1,272 @@
+"""Core machinery of the project linter: contexts, findings, the runner.
+
+``repro.tools.lint`` exists because the invariants this reproduction
+depends on — seeded RNG streams, lock-guarded mutation in the serving
+layer, metrics flowing through the sanctioned registry accessors — are
+*project* rules that generic linters cannot express.  Each rule is a
+small AST pass (see :mod:`repro.tools.lint.rules`); this module owns
+everything around them:
+
+- :class:`LintContext` — one parsed file (source, AST, dotted module
+  name, per-line suppressions);
+- :class:`Finding` — one rule violation at one location;
+- :func:`run_lint` — walk paths, parse, run every rule, apply
+  ``# reprolint: disable=RULE`` suppressions and the committed
+  baseline, and return a :class:`LintResult`.
+
+Suppressions are per line::
+
+    t0 = time.time()  # reprolint: disable=TELEMETRY-COVERAGE -- wall clock is the point here
+
+``disable=all`` silences every rule on that line.  The text after
+``--`` is a free-form justification (encouraged, not enforced).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "collect_python_files",
+    "fingerprint",
+    "lint_file",
+    "lint_source",
+    "run_lint",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\-]+|all)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    source_line: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "source_line": self.source_line,
+            "fingerprint": fingerprint(self),
+        }
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding for baseline matching.
+
+    Hashes the *stripped source line* rather than the line number, so a
+    baselined finding keeps matching when unrelated edits shift the file
+    up or down.
+    """
+    normalized = finding.source_line.strip()
+    payload = f"{finding.path}::{finding.rule}::{normalized}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``name`` / ``description`` and implement
+    :meth:`check` as a generator of findings over ``ctx.tree``.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: "LintContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "LintContext", node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        source_line = ""
+        if 1 <= line <= len(ctx.lines):
+            source_line = ctx.lines[line - 1]
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule=self.name,
+            message=message,
+            source_line=source_line,
+        )
+
+
+class LintContext:
+    """One parsed Python file plus everything rules need to inspect it."""
+
+    def __init__(self, path: str, source: str, module: Optional[str] = None):
+        self.path = path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.module = module if module is not None else _infer_module(path)
+        self._suppressions: Dict[int, Set[str]] = _parse_suppressions(self.lines)
+
+    def suppressed(self, finding: Finding) -> bool:
+        rules = self._suppressions.get(finding.line)
+        if not rules:
+            return False
+        return "all" in rules or finding.rule in rules
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this file's dotted module sits under any prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        spec = match.group(1)
+        if spec == "all":
+            table[number] = {"all"}
+        else:
+            table[number] = {part.strip() for part in spec.split(",") if part.strip()}
+    return table
+
+
+def _infer_module(path: str) -> Optional[str]:
+    """Dotted module name from the filesystem (``.../src/repro/x.py`` ->
+    ``repro.x``), by walking up while ``__init__.py`` files are present."""
+    absolute = os.path.abspath(path)
+    directory, filename = os.path.split(absolute)
+    stem, ext = os.path.splitext(filename)
+    if ext != ".py":
+        return None
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else None
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def all_findings(self) -> List[Finding]:
+        return list(self.parse_errors) + list(self.findings)
+
+
+def collect_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                collected.append(path)
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        collected.append(os.path.join(root, filename))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return sorted(set(collected))
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    path: str = "<string>",
+    module: Optional[str] = None,
+) -> List[Finding]:
+    """Run ``rules`` over in-memory source (fixture tests use this)."""
+    ctx = LintContext(path, source, module=module)
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str, rules: Sequence[Rule]) -> List[Finding]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    display = os.path.relpath(path)
+    return lint_source(source, rules, path=display)
+
+
+def run_lint(
+    paths: Iterable[str],
+    rules: Sequence[Rule],
+    baseline: Optional["Baseline"] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and split findings into
+    fresh ones versus those covered by the committed baseline."""
+    result = LintResult()
+    matcher = baseline.matcher() if baseline is not None else None
+    for path in collect_python_files(paths):
+        result.files_checked += 1
+        try:
+            findings = lint_file(path, rules)
+        except SyntaxError as exc:
+            result.parse_errors.append(
+                Finding(
+                    path=os.path.relpath(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="SYNTAX-ERROR",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        for finding in findings:
+            if matcher is not None and matcher.absorb(finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    return result
+
+
+# Imported at the bottom to avoid a cycle (baseline needs Finding).
+from .baseline import Baseline  # noqa: E402,F401

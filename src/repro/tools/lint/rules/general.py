@@ -1,0 +1,124 @@
+"""General numerical-library hygiene rules.
+
+These four are classics, but each maps to a concrete failure mode this
+reproduction has to care about:
+
+- **MUTABLE-DEFAULT** — a shared default list/dict turns two
+  independently constructed trainers into secretly coupled ones.
+- **BARE-EXCEPT** — ``except:`` swallows ``KeyboardInterrupt`` /
+  ``SystemExit``; a serving worker that catches those can never be
+  shut down cleanly.
+- **FLOAT-EQUALITY** — ``x == 0.3`` style comparisons against float
+  literals are order-of-operations lotteries; the server's own
+  docstring documents that batched and unbatched paths differ by ulps.
+- **ASSERT-RUNTIME** — ``assert`` compiles away under ``python -O``,
+  so using it to validate runtime state in library code means the
+  check silently vanishes in optimized deployments; raise a real
+  exception instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, Rule
+
+__all__ = [
+    "AssertRuntimeRule",
+    "BareExceptRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+class MutableDefaultRule(Rule):
+    name = "MUTABLE-DEFAULT"
+    description = "No mutable default argument values"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in `{node.name}()`; "
+                        "default to None and create the value in the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS
+        return False
+
+
+class BareExceptRule(Rule):
+    name = "BARE-EXCEPT"
+    description = "No bare `except:` clauses"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` also catches KeyboardInterrupt/"
+                    "SystemExit; name the exception type (use "
+                    "`except Exception:` at minimum)",
+                )
+
+
+class FloatEqualityRule(Rule):
+    name = "FLOAT-EQUALITY"
+    description = "No == / != against float literals"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, (left, right) in zip(
+                node.ops, zip(operands, operands[1:])
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, float)
+                    for side in (left, right)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= against a float literal; use "
+                        "math.isclose/np.isclose, or an inequality for "
+                        "zero-sentinel checks",
+                    )
+                    break
+
+
+class AssertRuntimeRule(Rule):
+    name = "ASSERT-RUNTIME"
+    description = "No `assert` for runtime validation in library code"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "`assert` is stripped under python -O; raise "
+                    "ValueError/TypeError/RuntimeError for runtime "
+                    "validation in library code",
+                )

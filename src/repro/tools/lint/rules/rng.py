@@ -1,0 +1,112 @@
+"""RNG-DETERMINISM: every random number must come from an injected
+``numpy.random.Generator``.
+
+The paper's claims are statements about *seeded* runs — Table 2
+accuracies, the Fig. 5/6 lazy-update speedup curves — so any draw from
+NumPy's hidden global state (``np.random.seed`` / ``rand`` / ``randn``
+/ ...) makes a result silently irreproducible: the global stream is
+shared across the whole process, and its position depends on import
+order and whatever ran before.  Two violations are flagged:
+
+- any call through the legacy global-state API
+  (``np.random.<seed|rand|randn|randint|...>`` or
+  ``np.random.RandomState``);
+- ``np.random.default_rng()`` called with **no seed** anywhere outside
+  the sanctioned :mod:`repro.rng` module, which owns the project's one
+  root ``SeedSequence`` and spawns deterministic child streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, LintContext, Rule
+
+__all__ = ["RngDeterminismRule"]
+
+# The legacy numpy.random functions that read/write hidden global state.
+_LEGACY_GLOBAL_FNS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "laplace",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "get_state",
+        "set_state",
+    }
+)
+
+# Module(s) allowed to create unseeded generators: the single place the
+# project's default stream is rooted.
+_SANCTIONED_MODULES = frozenset({"repro.rng"})
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``np.random.default_rng`` -> that string; None for non-name chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class RngDeterminismRule(Rule):
+    name = "RNG-DETERMINISM"
+    description = (
+        "No global-state np.random.* calls; unseeded default_rng() only "
+        "inside repro.rng"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        sanctioned = ctx.module in _SANCTIONED_MODULES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, fn = dotted.rpartition(".")
+            if head not in ("np.random", "numpy.random"):
+                continue
+            if fn in _LEGACY_GLOBAL_FNS or fn == "RandomState":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to global-state RNG `{dotted}`; inject a "
+                    "numpy.random.Generator (see repro.rng) so the draw "
+                    "is seeded and isolated",
+                )
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                if not sanctioned:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unseeded `default_rng()`; pass an explicit seed "
+                        "or use repro.rng.default_generator() so the "
+                        "stream is reproducible",
+                    )

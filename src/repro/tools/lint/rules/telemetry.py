@@ -1,0 +1,91 @@
+"""TELEMETRY-COVERAGE: metrics flow through the sanctioned accessors.
+
+The Fig. 5-7 reproduction reads *phase-attributed* timings out of
+:class:`repro.telemetry.metrics.MetricsRegistry` snapshots, and the
+serving benchmarks read their QPS/latency numbers from the same place.
+That only works if every hot path plays by three rules — checked here
+for the ``repro.serve`` and ``repro.optim`` packages:
+
+- **no registry internals**: touching ``_counters`` / ``_gauges`` /
+  ``_histograms`` / ``_timers`` directly bypasses the kind check and
+  the create-on-first-access sharing; use ``counter()`` / ``gauge()``
+  / ``histogram()`` / ``timer()``;
+- **no orphan instruments**: instantiating ``Counter(...)`` /
+  ``PhaseTimer(...)`` directly creates an instrument invisible to
+  ``snapshot()`` and the BENCH exporters;
+- **no raw wall clocks**: calling ``time.time()`` /
+  ``time.perf_counter()`` in these packages sidesteps the registry's
+  *injectable* clock, which is what lets the timing tests substitute a
+  fake clock instead of sleeping.  (``time.monotonic`` is allowed —
+  scheduling waits are not measurements.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, Rule
+from .rng import _dotted_name
+
+__all__ = ["TelemetryCoverageRule"]
+
+_SCOPED_PACKAGES = ("repro.serve", "repro.optim")
+
+_REGISTRY_INTERNALS = frozenset(
+    {"_counters", "_gauges", "_histograms", "_timers"}
+)
+
+_INSTRUMENT_TYPES = frozenset(
+    {"Counter", "Gauge", "Histogram", "PhaseTimer"}
+)
+
+_RAW_CLOCKS = frozenset({"time.time", "time.perf_counter"})
+
+
+class TelemetryCoverageRule(Rule):
+    name = "TELEMETRY-COVERAGE"
+    description = (
+        "serve/optim hot paths must use MetricsRegistry accessors and its "
+        "injected clock, never registry internals or raw wall clocks"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_package(*_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if node.attr in _REGISTRY_INTERNALS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct access to registry internal `{node.attr}`; "
+                        "go through counter()/gauge()/histogram()/timer() "
+                        "so kind checks and snapshots stay correct",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is None:
+                    continue
+                tail = dotted.rpartition(".")[2]
+                if dotted in _RAW_CLOCKS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"raw `{dotted}()` in a telemetry-covered package; "
+                        "use the registry's injected clock "
+                        "(`metrics.clock()`) or a `with metrics.timer(...)` "
+                        "block so fake clocks keep tests deterministic",
+                    )
+                elif tail in _INSTRUMENT_TYPES and dotted in (
+                    tail,
+                    f"metrics.{tail}",
+                    f"telemetry.{tail}",
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct `{tail}(...)` instantiation; obtain "
+                        "instruments from a MetricsRegistry accessor so "
+                        "they appear in snapshot() and the BENCH exports",
+                    )

@@ -1,7 +1,6 @@
 """Unit tests for the EM update formulas (Equations (13) and (17))."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     GaussianMixture,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import GMRegularizer, LazyUpdateSchedule
+from repro.core import LazyUpdateSchedule
 from repro.experiments import (
     DEFAULT_GAMMA,
     DeepRunConfig,

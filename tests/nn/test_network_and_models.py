@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import GMRegularizer, L2Regularizer
 from repro.nn import Network, alex_cifar10, resnet20, resnet_cifar
-from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.layers import Dense, ReLU
 from repro.optim import Trainer
 
 

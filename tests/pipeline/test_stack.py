@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import GMRegularizer, L2Regularizer
 from repro.datasets import make_raw_hospital_table
-from repro.pipeline import AnalyticsStack, DataCleaner, DeduplicateRows, RangeRule
+from repro.pipeline import AnalyticsStack, DataCleaner, DeduplicateRows
 
 
 @pytest.fixture(scope="module")

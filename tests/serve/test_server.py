@@ -1,6 +1,5 @@
 """Micro-batching equivalence, caching, backpressure and lifecycle."""
 
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 

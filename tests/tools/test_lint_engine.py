@@ -1,0 +1,266 @@
+"""Engine plumbing: suppressions, baselines, CLI exit codes, JSON."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.tools.lint import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    fingerprint,
+    lint_source,
+    run_lint,
+)
+from repro.tools.lint.cli import main
+from repro.tools.lint.engine import LintContext, collect_python_files
+from repro.tools.lint.rules import AssertRuntimeRule, default_rules
+
+BAD_SNIPPET = textwrap.dedent(
+    """
+    import numpy as np
+
+    def sample():
+        np.random.seed(0)
+        return np.random.rand(3)
+    """
+)
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_named_rule_suppressed_on_its_line(self):
+        source = (
+            "def f(x):\n"
+            "    assert x > 0  # reprolint: disable=ASSERT-RUNTIME\n"
+            "    return x\n"
+        )
+        assert lint_source(source, [AssertRuntimeRule()]) == []
+
+    def test_suppression_is_per_line(self):
+        source = (
+            "def f(x):\n"
+            "    assert x > 0  # reprolint: disable=ASSERT-RUNTIME\n"
+            "    assert x < 9\n"
+        )
+        found = lint_source(source, [AssertRuntimeRule()])
+        assert [f.line for f in found] == [3]
+
+    def test_disable_all(self):
+        source = "def f(x):\n    assert x  # reprolint: disable=all\n"
+        assert lint_source(source, default_rules()) == []
+
+    def test_wrong_rule_name_does_not_suppress(self):
+        source = (
+            "def f(x):\n"
+            "    assert x  # reprolint: disable=BARE-EXCEPT\n"
+        )
+        found = lint_source(source, [AssertRuntimeRule()])
+        assert len(found) == 1
+
+    def test_justification_suffix_tolerated(self):
+        source = (
+            "def f(x):\n"
+            "    assert x  # reprolint: disable=ASSERT-RUNTIME -- hot loop\n"
+        )
+        assert lint_source(source, [AssertRuntimeRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and baselines
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_fingerprint_survives_line_drift(self):
+        shifted = "\n\n\n" + BAD_SNIPPET
+        original = lint_source(BAD_SNIPPET, default_rules(), path="mod.py")
+        moved = lint_source(shifted, default_rules(), path="mod.py")
+        assert [f.line for f in original] != [f.line for f in moved]
+        assert [fingerprint(f) for f in original] == [
+            fingerprint(f) for f in moved
+        ]
+
+    def test_fingerprint_depends_on_path_and_rule(self):
+        a = lint_source(BAD_SNIPPET, default_rules(), path="a.py")
+        b = lint_source(BAD_SNIPPET, default_rules(), path="b.py")
+        assert fingerprint(a[0]) != fingerprint(b[0])
+
+    def test_baseline_round_trip_absorbs_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(BAD_SNIPPET)
+        baseline = Baseline.from_findings(
+            run_lint([str(target)], default_rules()).findings
+        )
+        assert len(baseline.entries) == 2
+
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        baseline.dump(str(path))
+        reloaded = Baseline.load(str(path))
+
+        result = run_lint([str(target)], default_rules(), baseline=reloaded)
+        assert result.findings == []
+        assert len(result.baselined) == 2
+        assert result.clean
+
+    def test_count_budget_blocks_duplicates(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(BAD_SNIPPET)
+        baseline = Baseline.from_findings(
+            run_lint([str(target)], default_rules()).findings
+        )
+
+        # Duplicate the offending body: same source lines, same
+        # fingerprints, but each entry's budget only covers one hit.
+        target.write_text(
+            BAD_SNIPPET
+            + textwrap.dedent(
+                """
+                def sample_again():
+                    np.random.seed(0)
+                    return np.random.rand(3)
+                """
+            )
+        )
+        result = run_lint([str(target)], default_rules(), baseline=baseline)
+        assert len(result.baselined) == 2
+        assert len(result.findings) == 2
+        assert not result.clean
+
+    def test_missing_default_baseline_is_empty(self, tmp_path):
+        baseline = Baseline.load_default(str(tmp_path))
+        assert baseline.entries == []
+
+
+# ----------------------------------------------------------------------
+# File collection and module inference
+# ----------------------------------------------------------------------
+class TestDiscovery:
+    def test_collect_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "ok.cpython-311.py").write_text("")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "no.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+
+        files = collect_python_files([str(tmp_path)])
+        assert [f for f in files if "__pycache__" in f] == []
+        assert [f for f in files if ".hidden" in f] == []
+        assert len(files) == 1 and files[0].endswith("ok.py")
+
+    def test_collect_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_python_files([str(tmp_path / "nope")])
+
+    def test_module_inference_walks_init_chain(self, tmp_path):
+        pkg = tmp_path / "mylib" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "mylib" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "leaf.py").write_text("x = 1\n")
+
+        ctx = LintContext(str(pkg / "leaf.py"), "x = 1\n")
+        assert ctx.module == "mylib.sub.leaf"
+        assert ctx.in_package("mylib")
+        assert ctx.in_package("mylib.sub")
+        assert not ctx.in_package("mylib.subword")
+        assert not ctx.in_package("other")
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        result = run_lint([str(broken)], default_rules())
+        assert len(result.parse_errors) == 1
+        assert result.parse_errors[0].rule == "SYNTAX-ERROR"
+        assert not result.clean
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(x):\n    return x + 1\n")
+        code = main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one_with_rendered_lines(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SNIPPET)
+        code = main([str(bad), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RNG-DETERMINISM" in out
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SNIPPET)
+        code = main([str(bad), "--json", "--no-baseline"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["clean"] is False
+        assert report["files_checked"] == 1
+        assert {f["rule"] for f in report["findings"]} == {"RNG-DETERMINISM"}
+        first = report["findings"][0]
+        assert set(first) >= {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "message",
+            "fingerprint",
+        }
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SNIPPET)
+        baseline_path = tmp_path / DEFAULT_BASELINE_NAME
+
+        code = main(
+            [str(bad), "--baseline", str(baseline_path), "--write-baseline"]
+        )
+        assert code == 0
+        assert baseline_path.is_file()
+        capsys.readouterr()
+
+        code = main([str(bad), "--baseline", str(baseline_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 baselined" in out
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        code = main([str(tmp_path), "--select", "NO-SUCH-RULE"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown rule" in err
+
+    def test_select_runs_only_named_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    assert x\n" + BAD_SNIPPET)
+        code = main(
+            [str(bad), "--select", "ASSERT-RUNTIME", "--no-baseline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ASSERT-RUNTIME" in out
+        assert "RNG-DETERMINISM" not in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        code = main([str(tmp_path / "ghost")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        code = main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in (
+            "RNG-DETERMINISM",
+            "LOCK-DISCIPLINE",
+            "TELEMETRY-COVERAGE",
+        ):
+            assert name in out

@@ -1,0 +1,424 @@
+"""Good/bad fixture pairs for every custom lint rule.
+
+Each rule gets at least one seeded-bad snippet that must produce a
+finding and the corrected snippet that must not.  Snippets are linted
+in memory via :func:`repro.tools.lint.lint_source`, with the module
+name pinned where a rule is package-scoped.
+"""
+
+import textwrap
+
+from repro.tools.lint import lint_source
+from repro.tools.lint.rules import (
+    AssertRuntimeRule,
+    BareExceptRule,
+    FloatEqualityRule,
+    LockDisciplineRule,
+    MutableDefaultRule,
+    RngDeterminismRule,
+    TelemetryCoverageRule,
+    default_rules,
+)
+
+
+def findings_for(rule, source, module="repro.fake"):
+    return lint_source(textwrap.dedent(source), [rule()], module=module)
+
+
+def rules_hit(source, module="repro.fake"):
+    found = lint_source(textwrap.dedent(source), default_rules(), module=module)
+    return {f.rule for f in found}
+
+
+# ----------------------------------------------------------------------
+# RNG-DETERMINISM
+# ----------------------------------------------------------------------
+class TestRngDeterminism:
+    BAD = """
+        import numpy as np
+
+        def sample():
+            np.random.seed(0)
+            return np.random.randn(4)
+    """
+    GOOD = """
+        import numpy as np
+
+        def sample(rng: np.random.Generator):
+            return rng.standard_normal(4)
+    """
+
+    def test_bad_flags_both_calls(self):
+        found = findings_for(RngDeterminismRule, self.BAD)
+        assert len(found) == 2
+        assert all(f.rule == "RNG-DETERMINISM" for f in found)
+        assert "np.random.seed" in found[0].message
+
+    def test_good_is_clean(self):
+        assert findings_for(RngDeterminismRule, self.GOOD) == []
+
+    def test_unseeded_default_rng_flagged(self):
+        found = findings_for(
+            RngDeterminismRule,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert len(found) == 1
+        assert "unseeded" in found[0].message
+
+    def test_seeded_default_rng_allowed(self):
+        found = findings_for(
+            RngDeterminismRule,
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+        )
+        assert found == []
+
+    def test_sanctioned_module_may_spawn_unseeded(self):
+        found = findings_for(
+            RngDeterminismRule,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            module="repro.rng",
+        )
+        assert found == []
+
+    def test_full_numpy_spelling_flagged(self):
+        found = findings_for(
+            RngDeterminismRule,
+            "import numpy\nx = numpy.random.rand(3)\n",
+        )
+        assert len(found) == 1
+
+
+# ----------------------------------------------------------------------
+# LOCK-DISCIPLINE
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    BAD = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def clear(self):
+                self._items = []          # race: no lock held
+    """
+    GOOD = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def clear(self):
+                with self._lock:
+                    self._items = []
+    """
+
+    def test_bad_flags_unlocked_write(self):
+        found = findings_for(LockDisciplineRule, self.BAD)
+        assert len(found) == 1
+        assert found[0].rule == "LOCK-DISCIPLINE"
+        assert "_items" in found[0].message
+
+    def test_good_is_clean(self):
+        assert findings_for(LockDisciplineRule, self.GOOD) == []
+
+    def test_init_is_exempt(self):
+        # The __init__ writes in both fixtures never count as races.
+        found = findings_for(LockDisciplineRule, self.GOOD)
+        assert found == []
+
+    def test_locked_suffix_methods_are_exempt(self):
+        source = """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._queue = []
+
+                def put(self, item):
+                    with self._cond:
+                        self._queue.append(item)
+
+                def _drain_locked(self):
+                    self._queue.pop()     # callers hold the lock
+        """
+        assert findings_for(LockDisciplineRule, source) == []
+
+    def test_mutator_call_in_assignment_rhs_is_caught(self):
+        source = """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._table = {}
+
+                def set(self, key, value):
+                    with self._lock:
+                        self._table[key] = value
+
+                def slot(self, key):
+                    return self._table.setdefault(key, [])   # unlocked mutation
+        """
+        found = findings_for(LockDisciplineRule, source)
+        assert len(found) == 1
+        assert "_table" in found[0].message
+
+    def test_class_without_lock_is_ignored(self):
+        source = """
+            class Plain:
+                def set(self, value):
+                    self._value = value
+        """
+        assert findings_for(LockDisciplineRule, source) == []
+
+
+# ----------------------------------------------------------------------
+# TELEMETRY-COVERAGE
+# ----------------------------------------------------------------------
+class TestTelemetryCoverage:
+    SERVE = "repro.serve.fake"
+
+    def test_registry_internals_flagged(self):
+        source = """
+            class Server:
+                def handle(self):
+                    self.metrics._counters["x"].value += 1
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.SERVE)
+        assert len(found) == 1
+        assert "_counters" in found[0].message
+
+    def test_accessor_usage_is_clean(self):
+        source = """
+            class Server:
+                def handle(self):
+                    self.metrics.counter("serve/requests_total").inc()
+                    with self.metrics.timer("serve/dispatch_seconds"):
+                        pass
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.SERVE
+        ) == []
+
+    def test_raw_wall_clock_flagged(self):
+        source = """
+            import time
+
+            def measure():
+                start = time.perf_counter()
+                return start
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.SERVE)
+        assert len(found) == 1
+        assert "perf_counter" in found[0].message
+
+    def test_injected_clock_is_clean(self):
+        source = """
+            def measure(metrics):
+                start = metrics.clock()
+                return start
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.SERVE
+        ) == []
+
+    def test_monotonic_scheduling_clock_allowed(self):
+        source = """
+            import time
+
+            def wait_deadline():
+                return time.monotonic() + 1.0
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.SERVE
+        ) == []
+
+    def test_direct_instrument_instantiation_flagged(self):
+        source = """
+            def build():
+                from repro.telemetry.metrics import Counter
+                return Counter("orphan")
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.SERVE)
+        assert len(found) == 1
+        assert "snapshot()" in found[0].message
+
+    def test_rule_is_scoped_to_serve_and_optim(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module="repro.pipeline.fake"
+        ) == []
+        assert (
+            len(
+                findings_for(
+                    TelemetryCoverageRule, source, module="repro.optim.fake"
+                )
+            )
+            == 1
+        )
+
+
+# ----------------------------------------------------------------------
+# MUTABLE-DEFAULT
+# ----------------------------------------------------------------------
+class TestMutableDefault:
+    BAD = """
+        def collect(values=[]):
+            values.append(1)
+            return values
+    """
+    GOOD = """
+        def collect(values=None):
+            if values is None:
+                values = []
+            values.append(1)
+            return values
+    """
+
+    def test_bad(self):
+        found = findings_for(MutableDefaultRule, self.BAD)
+        assert len(found) == 1
+        assert "collect" in found[0].message
+
+    def test_good(self):
+        assert findings_for(MutableDefaultRule, self.GOOD) == []
+
+    def test_kwonly_and_call_defaults(self):
+        found = findings_for(
+            MutableDefaultRule, "def f(*, table=dict()):\n    return table\n"
+        )
+        assert len(found) == 1
+
+
+# ----------------------------------------------------------------------
+# BARE-EXCEPT
+# ----------------------------------------------------------------------
+class TestBareExcept:
+    BAD = """
+        def load():
+            try:
+                return open("x").read()
+            except:
+                return None
+    """
+    GOOD = """
+        def load():
+            try:
+                return open("x").read()
+            except OSError:
+                return None
+    """
+
+    def test_bad(self):
+        found = findings_for(BareExceptRule, self.BAD)
+        assert len(found) == 1
+        assert "KeyboardInterrupt" in found[0].message
+
+    def test_good(self):
+        assert findings_for(BareExceptRule, self.GOOD) == []
+
+
+# ----------------------------------------------------------------------
+# FLOAT-EQUALITY
+# ----------------------------------------------------------------------
+class TestFloatEquality:
+    BAD = """
+        def check(x):
+            return x == 0.3
+    """
+    GOOD = """
+        import math
+
+        def check(x):
+            return math.isclose(x, 0.3)
+    """
+
+    def test_bad(self):
+        found = findings_for(FloatEqualityRule, self.BAD)
+        assert len(found) == 1
+
+    def test_good(self):
+        assert findings_for(FloatEqualityRule, self.GOOD) == []
+
+    def test_integer_equality_allowed(self):
+        assert findings_for(
+            FloatEqualityRule, "def f(n):\n    return n == 3\n"
+        ) == []
+
+    def test_float_inequality_allowed(self):
+        assert findings_for(
+            FloatEqualityRule, "def f(x):\n    return x <= 0.0\n"
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# ASSERT-RUNTIME
+# ----------------------------------------------------------------------
+class TestAssertRuntime:
+    BAD = """
+        def scale(x, factor):
+            assert factor > 0
+            return x * factor
+    """
+    GOOD = """
+        def scale(x, factor):
+            if factor <= 0:
+                raise ValueError(f"factor must be > 0, got {factor}")
+            return x * factor
+    """
+
+    def test_bad(self):
+        found = findings_for(AssertRuntimeRule, self.BAD)
+        assert len(found) == 1
+        assert "python -O" in found[0].message
+
+    def test_good(self):
+        assert findings_for(AssertRuntimeRule, self.GOOD) == []
+
+
+# ----------------------------------------------------------------------
+# Cross-rule sanity
+# ----------------------------------------------------------------------
+def test_every_rule_has_distinct_name():
+    names = [rule.name for rule in default_rules()]
+    assert len(names) == len(set(names))
+    assert len(names) >= 7
+
+
+def test_one_snippet_can_trip_many_rules():
+    source = """
+        import numpy as np
+
+        def train(batches=[]):
+            assert batches
+            np.random.seed(0)
+            try:
+                return np.random.rand(3)
+            except:
+                return None
+    """
+    hit = rules_hit(source)
+    assert {
+        "MUTABLE-DEFAULT",
+        "ASSERT-RUNTIME",
+        "RNG-DETERMINISM",
+        "BARE-EXCEPT",
+    } <= hit

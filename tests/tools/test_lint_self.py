@@ -1,0 +1,66 @@
+"""Self-check: the repository's own source must lint clean.
+
+This is the same invocation CI runs (``python -m repro.tools.lint
+src/``): zero fresh findings, with deliberate exceptions recorded and
+justified in ``.reprolint-baseline.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import Baseline, DEFAULT_BASELINE_NAME, default_rules, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    # Findings and baseline entries use repo-root-relative paths.
+    monkeypatch.chdir(REPO_ROOT)
+    return REPO_ROOT
+
+
+def test_src_tree_has_zero_nonbaselined_findings(repo_cwd):
+    baseline = Baseline.load_default(str(repo_cwd))
+    result = run_lint(["src"], default_rules(), baseline=baseline)
+    rendered = "\n".join(f.render() for f in result.all_findings())
+    assert result.clean, f"fresh lint findings on src/:\n{rendered}"
+    assert result.files_checked > 50
+
+
+def test_baseline_entries_are_justified_and_consumed(repo_cwd):
+    path = repo_cwd / DEFAULT_BASELINE_NAME
+    payload = json.loads(path.read_text())
+    assert payload["tool"] == "repro.tools.lint"
+    for entry in payload["entries"]:
+        assert entry["justification"].strip(), (
+            f"baseline entry {entry['fingerprint']} has no justification"
+        )
+        assert "TODO" not in entry["justification"]
+
+    # Every baseline entry must still correspond to a real finding —
+    # stale entries mean the debt was paid and the entry should go.
+    baseline = Baseline.load_default(str(repo_cwd))
+    result = run_lint(["src"], default_rules(), baseline=baseline)
+    assert len(result.baselined) == sum(
+        e["count"] for e in payload["entries"]
+    )
+
+
+def test_no_legacy_global_numpy_rng_in_src(repo_cwd):
+    # Mirrors the acceptance grep:
+    #   grep -rn "np\.random\.\(seed\|rand\|randn\|randint\)" src/
+    offenders = []
+    for py in sorted((repo_cwd / "src").rglob("*.py")):
+        for lineno, line in enumerate(py.read_text().splitlines(), start=1):
+            for fragment in (
+                "np.random.seed(",
+                "np.random.rand(",
+                "np.random.randn(",
+                "np.random.randint(",
+            ):
+                if fragment in line:
+                    offenders.append(f"{py}:{lineno}: {line.strip()}")
+    assert offenders == [], "\n".join(offenders)
