@@ -187,11 +187,24 @@ def _train_demo_model(seed: int = 0, fast: bool = False):
 
 
 def _cmd_serve(args) -> None:
-    """Serve smoke test: publish, replay concurrent traffic, verify."""
+    """Serve smoke test: publish, replay concurrent traffic, verify.
+
+    With ``--chaos`` the replay runs under the seeded fault injector
+    (model/registry errors and latency spikes, cache corruption) behind
+    the default resilience policy — the smoke then additionally asserts
+    that chaos changed no answer and dropped no request.
+    """
     from concurrent.futures import ThreadPoolExecutor
 
     from .linear.logistic import LogisticRegression
-    from .serve import ModelRegistry, ModelServer
+    from .serve import (
+        CircuitBreaker,
+        FaultInjector,
+        ModelRegistry,
+        ModelServer,
+        ResiliencePolicy,
+        RetryPolicy,
+    )
 
     n_requests = args.requests
     model, x = _train_demo_model(fast=args.fast)
@@ -207,14 +220,44 @@ def _cmd_serve(args) -> None:
     print(f"published {args.name}:{version} "
           f"({registry.metadata(args.name, version)['n_parameters']} params)")
 
+    injector = None
+    resilience = None
+    if args.chaos:
+        injector = FaultInjector.chaos(
+            error_rate=0.1,
+            latency_rate=0.05,
+            latency_seconds=0.01,
+            corruption_rate=0.1,
+            seed=args.chaos_seed,
+        )
+        # Extra attempts push the per-call drop probability to
+        # error_rate**max_attempts ~ 1e-6; delays stay small so the
+        # smoke remains quick.
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(
+                max_attempts=6,
+                base_delay=0.001,
+                max_delay=0.01,
+                seed=args.chaos_seed,
+            ),
+            registry_breaker=CircuitBreaker(
+                name="registry", reset_timeout=0.2
+            ),
+        )
+        print(f"chaos enabled (seed={args.chaos_seed}): "
+              "10% errors, 5% latency spikes, 10% cache corruption")
+
     server = ModelServer(
         registry=registry,
         name=args.name,
         max_batch_size=args.max_batch,
         workers=args.serve_workers,
+        resilience=resilience,
+        fault_injector=injector,
     )
     with server, ThreadPoolExecutor(max_workers=16) as pool:
         got = np.array(list(pool.map(server.predict, rows)))
+        health = server.health()
     stats = server.stats()
 
     failures = []
@@ -225,16 +268,22 @@ def _cmd_serve(args) -> None:
             f"requests_total={stats['requests']} != issued {n_requests}"
         )
     counters = stats["metrics"]["counters"]
+    # Every request is answered by exactly one path: cache hit, shed to
+    # inline, deadline-expired to inline, a row of a dispatched batch,
+    # or (under chaos) a rescue of a failed batch's row.
     accounted = (
         counters.get("serve/cache_hits_total", 0.0)
         + stats["shed"]
         + counters.get("serve/deadline_expired_total", 0.0)
         + stats["metrics"]["histograms"]["serve/batch_size"].get("sum", 0.0)
+        + stats["rescued"]
     )
     if accounted != n_requests:
         failures.append(
             f"request accounting mismatch: {accounted} != {n_requests}"
         )
+    if health["status"] not in ("ok", "degraded"):
+        failures.append(f"unexpected health status {health['status']!r}")
     if not server.closed:
         failures.append("server did not shut down cleanly")
 
@@ -245,6 +294,17 @@ def _cmd_serve(args) -> None:
     if "latency_p50_ms" in stats:
         print(f"latency p50={stats['latency_p50_ms']:.3f}ms "
               f"p99={stats['latency_p99_ms']:.3f}ms")
+    if args.chaos:
+        injected = sum(
+            value for key, value in counters.items()
+            if key.startswith("resilience/faults/")
+        )
+        print(f"chaos: injected={injected:.0f} retries={stats['retries']:.0f} "
+              f"rescued={stats['rescued']:.0f} "
+              f"stale_served={stats['stale_model_served']:.0f} "
+              f"cache_corruptions="
+              f"{server.cache.stats()['corruptions']} "
+              f"health={health['status']} breakers={health['breakers']}")
     if failures:
         for failure in failures:
             print(f"serve smoke FAILED: {failure}", file=sys.stderr)
@@ -343,6 +403,16 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--serve-workers", type=int, default=2,
         help="serve only: dispatch worker threads",
+    )
+    serving.add_argument(
+        "--chaos", action="store_true",
+        help="serve only: replay the traffic under the seeded fault "
+             "injector (errors, latency spikes, cache corruption) with "
+             "the default resilience policy engaged",
+    )
+    serving.add_argument(
+        "--chaos-seed", type=int, default=2018, metavar="SEED",
+        help="serve only: seed for the chaos fault/jitter streams",
     )
     serving.add_argument(
         "--input", metavar="PATH", default=None,

@@ -21,22 +21,47 @@ closes the repo's train → serve gap:
     full :class:`~repro.telemetry.metrics.MetricsRegistry` wiring
     (latency/batch-size histograms, queue-depth gauge, shed and cache
     counters).
+:mod:`repro.serve.resilience`
+    :class:`FaultInjector` (seeded chaos harness), :class:`RetryPolicy`
+    (exponential backoff + full jitter + deadline budgets),
+    :class:`CircuitBreaker` (closed/open/half-open over a sliding
+    window) and :class:`ResiliencePolicy` — the failure-handling
+    decision table wired through the server, plus the
+    :meth:`ModelServer.health` / :meth:`ModelServer.ready` operator
+    probes (see ``docs/RUNBOOK.md``).
 
 Entry points: ``python -m repro serve`` / ``python -m repro predict``
 (CLI) and :meth:`repro.pipeline.stack.AnalyticsStack.serve` (in-process).
 """
 
-from .batching import MicroBatcher, ServeRequest
+from .batching import MicroBatcher, ServeRequest, ServerClosed
 from .cache import PredictionCache
 from .registry import ActiveModel, CheckpointIncompatible, ModelRegistry
+from .resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    FaultInjector,
+    FaultProfile,
+    InjectedFault,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from .server import ModelServer
 
 __all__ = [
     "ActiveModel",
+    "BreakerOpen",
     "CheckpointIncompatible",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultProfile",
+    "InjectedFault",
     "MicroBatcher",
     "ModelRegistry",
     "ModelServer",
     "PredictionCache",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "ServeRequest",
+    "ServerClosed",
 ]

@@ -32,7 +32,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ServeRequest", "MicroBatcher"]
+__all__ = ["ServeRequest", "ServerClosed", "MicroBatcher"]
 
 # dispatch(method, rows) -> per-row results, aligned with rows
 DispatchFn = Callable[[str, List[np.ndarray]], Sequence[Any]]
@@ -41,6 +41,21 @@ _QUEUED = "queued"
 _DISPATCHED = "dispatched"
 _DONE = "done"
 _CANCELLED = "cancelled"
+
+
+class ServerClosed(RuntimeError):
+    """The serving stack is shut down (or shutting down).
+
+    Raised by submission paths once :meth:`MicroBatcher.close` /
+    :meth:`~repro.serve.server.ModelServer.close` has begun, and set as
+    the error on requests failed by a non-draining shutdown.  A typed
+    subclass (rather than a bare ``RuntimeError``) lets callers and
+    load-balancers distinguish "this replica is going away" from a
+    genuine serving failure.
+    """
+
+    def __init__(self, detail: str = "server is closed") -> None:
+        super().__init__(detail)
 
 
 class ServeRequest:
@@ -59,6 +74,7 @@ class ServeRequest:
         self.enqueued_at = enqueued_at
 
     def done(self) -> bool:
+        """Whether a result or error has been delivered to this request."""
         return self.event.is_set()
 
 
@@ -121,10 +137,13 @@ class MicroBatcher:
     # Producer side
     # ------------------------------------------------------------------
     def submit(self, request: ServeRequest) -> bool:
-        """Enqueue; returns ``False`` (shed) when the queue is full."""
+        """Enqueue; returns ``False`` (shed) when the queue is full.
+
+        Raises :class:`ServerClosed` once :meth:`close` has begun.
+        """
         with self._cond:
             if self._stopping:
-                raise RuntimeError("server is closed")
+                raise ServerClosed()
             if len(self._queue) >= self.max_queue:
                 return False
             self._queue.append(request)
@@ -142,7 +161,7 @@ class MicroBatcher:
         """
         with self._cond:
             if self._stopping:
-                raise RuntimeError("server is closed")
+                raise ServerClosed()
             room = self.max_queue - len(self._queue)
             accepted = min(max(room, 0), len(requests))
             self._queue.extend(requests[:accepted])
@@ -241,17 +260,20 @@ class MicroBatcher:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, drain: bool = True) -> None:
-        """Stop the workers.
+        """Stop the workers; never abandons an accepted request.
 
-        ``drain=True`` lets queued requests complete first;
-        ``drain=False`` fails them immediately with ``RuntimeError``.
+        ``drain=True`` lets queued requests complete first (workers
+        prefer remaining work over exit, so everything accepted before
+        the stop flag is dispatched).  ``drain=False`` fails the queued
+        remainder immediately with a typed :class:`ServerClosed` error —
+        every waiter wakes up either way; no future is left hanging.
         """
         with self._cond:
             self._stopping = True
             if not drain:
                 while self._queue:
                     request = self._queue.popleft()
-                    request.error = RuntimeError("server closed before dispatch")
+                    request.error = ServerClosed("server closed before dispatch")
                     request.state = _DONE
                     request.event.set()
             self._cond.notify_all()
@@ -260,10 +282,25 @@ class MicroBatcher:
         # Workers exit as soon as they see the stop flag with an empty
         # queue; with drain=True anything still queued at that point is
         # picked up first because _collect_batch prefers work over exit.
+        # Belt-and-braces: if a queued request somehow survived the
+        # worker drain (e.g. zero live workers), fail it rather than
+        # leave its waiter blocked forever.
+        with self._cond:
+            while self._queue:
+                request = self._queue.popleft()
+                request.error = ServerClosed("server closed before dispatch")
+                request.state = _DONE
+                request.event.set()
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has begun (new submissions are rejected)."""
         return self._stopping
+
+    @property
+    def workers(self) -> int:
+        """Number of dispatch worker threads."""
+        return len(self._threads)
 
     def __repr__(self) -> str:
         return (

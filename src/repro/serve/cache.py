@@ -7,6 +7,20 @@ the serving layer memoizes per-row results.  Keys cover the model
 what makes the cache safe under the registry's hot-swap: activating a
 new version changes every key, so stale predictions can never be
 served (no explicit invalidation needed).
+
+Two resilience features ride on top of the plain LRU:
+
+- **full accounting** — hits, misses, inserts, evictions and detected
+  corruptions are counted under the same lock that guards the entries,
+  so ``stats()`` is a consistent snapshot even under concurrent
+  traffic (``inserts - evictions == size`` always holds);
+- **optional integrity checking** — with ``integrity=True`` every
+  entry stores a content checksum at ``put`` time and re-verifies it at
+  ``get`` time; a mismatch (a poisoned or bit-rotted entry) is evicted
+  and reported as a miss, so corruption degrades to one recompute
+  instead of a wrong answer.  This is the detection side of the
+  :class:`~repro.serve.resilience.FaultInjector`'s cache-corruption
+  chaos.
 """
 
 from __future__ import annotations
@@ -14,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +43,10 @@ class PredictionCache:
     maxsize:
         Maximum number of cached rows; ``0`` disables the cache (every
         lookup misses, nothing is stored).
+    integrity:
+        When True, entries carry a content checksum verified on every
+        hit; mismatching entries are dropped and counted in
+        ``corruptions`` instead of being served.
 
     Hit/miss totals are kept here as plain integers; the server mirrors
     them into its :class:`~repro.telemetry.metrics.MetricsRegistry`
@@ -36,14 +54,21 @@ class PredictionCache:
     metrics.
     """
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(self, maxsize: int = 1024, integrity: bool = False) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = int(maxsize)
-        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+        self.integrity = bool(integrity)
+        # key -> (value, checksum-or-None)
+        self._entries: "OrderedDict[bytes, Tuple[Any, Optional[bytes]]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.corruptions = 0
 
     @staticmethod
     def make_key(method: str, version: str, row: np.ndarray) -> bytes:
@@ -59,25 +84,90 @@ class PredictionCache:
         digest.update(row.tobytes())
         return digest.digest()
 
+    @staticmethod
+    def fingerprint(value: Any) -> bytes:
+        """Content checksum of a cached value (integrity mode).
+
+        Numeric scalars/arrays hash their dtype, shape and raw bytes;
+        anything that cannot be viewed as contiguous bytes falls back to
+        hashing its ``repr``.
+        """
+        digest = hashlib.sha1()
+        try:
+            arr = np.ascontiguousarray(value)
+            if arr.dtype.hasobject:
+                raise TypeError("object arrays have no stable bytes")
+            digest.update(str(arr.dtype).encode())
+            digest.update(str(arr.shape).encode())
+            digest.update(arr.tobytes())
+        except (TypeError, ValueError):
+            digest.update(repr(value).encode())
+        return digest.digest()
+
     def get(self, key: bytes) -> Tuple[bool, Optional[Any]]:
-        """``(hit, value)``; a hit refreshes the entry's recency."""
+        """``(hit, value)``; a hit refreshes the entry's recency.
+
+        In integrity mode a checksum mismatch evicts the entry and
+        reports a miss (counted in ``corruptions``) — a poisoned cache
+        line costs one recompute, never a wrong answer.
+        """
         with self._lock:
             if key in self._entries:
+                value, checksum = self._entries[key]
+                if checksum is not None and (
+                    PredictionCache.fingerprint(value) != checksum
+                ):
+                    del self._entries[key]
+                    self.corruptions += 1
+                    self.evictions += 1
+                    self.misses += 1
+                    return False, None
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return True, self._entries[key]
+                return True, value
             self.misses += 1
             return False, None
 
     def put(self, key: bytes, value: Any) -> None:
         """Insert/refresh ``key``, evicting the least recent beyond capacity."""
+        checksum = (
+            PredictionCache.fingerprint(value) if self.integrity else None
+        )
         if self.maxsize == 0:
             return
         with self._lock:
-            self._entries[key] = value
+            if key not in self._entries:
+                self.inserts += 1
+            self._entries[key] = (value, checksum)
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def put_poisoned(self, key: bytes, value: Any, original: Any) -> None:
+        """Store ``value`` under the checksum of ``original`` (chaos seam).
+
+        This is how the :class:`~repro.serve.resilience.FaultInjector`
+        plants *detectable* corruption: the entry's bytes are the
+        corrupted ``value`` but its checksum describes ``original``, so
+        the next :meth:`get` notices the mismatch and evicts instead of
+        serving a wrong answer.  Outside integrity mode this is a plain
+        :meth:`put` of the corrupted value — silent corruption, which is
+        exactly the failure mode integrity mode exists to remove.
+        """
+        if self.maxsize == 0:
+            return
+        checksum = (
+            PredictionCache.fingerprint(original) if self.integrity else None
+        )
+        with self._lock:
+            if key not in self._entries:
+                self.inserts += 1
+            self._entries[key] = (value, checksum)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -89,8 +179,32 @@ class PredictionCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def clear(self) -> None:
+    def stats(self) -> Dict[str, Any]:
+        """Consistent snapshot of size and all counters.
+
+        Taken under the entry lock, so the invariant
+        ``inserts - evictions == size`` holds in every snapshot no
+        matter how many threads are mid-``get``/``put``.
+        """
         with self._lock:
+            hits, misses = self.hits, self.misses
+            total = hits + misses
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": hits,
+                "misses": misses,
+                "inserts": self.inserts,
+                "evictions": self.evictions,
+                "corruptions": self.corruptions,
+                "hit_rate": hits / total if total else 0.0,
+                "integrity": self.integrity,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self.evictions += len(self._entries)
             self._entries.clear()
 
     def __repr__(self) -> str:

@@ -33,11 +33,15 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..nn.checkpoint import LoadReport, load_network_state_dict, network_state_dict
+
+if TYPE_CHECKING:  # import cycle: resilience imports nothing from here,
+    # but keeping the hint lazy mirrors the optional wiring.
+    from .resilience import FaultInjector
 
 __all__ = ["CheckpointIncompatible", "ActiveModel", "ModelRegistry"]
 
@@ -99,6 +103,11 @@ class ModelRegistry:
     root:
         Directory for persistent storage (created on demand), or ``None``
         for an in-memory registry.
+    fault_injector:
+        Optional :class:`~repro.serve.resilience.FaultInjector` whose
+        ``"registry_storage"`` site wraps every manifest read and
+        checkpoint load — the seam chaos tests use to simulate flaky
+        storage underneath an otherwise healthy registry.
 
     Typical lifecycle::
 
@@ -110,8 +119,13 @@ class ModelRegistry:
         active = registry.active("readmission")               # -> v2 snapshot
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        fault_injector: Optional["FaultInjector"] = None,
+    ) -> None:
         self.root = root
+        self.fault_injector = fault_injector
         self._lock = threading.RLock()
         self._factories: Dict[str, ModelFactory] = {}
         self._live: Dict[str, ActiveModel] = {}
@@ -119,6 +133,14 @@ class ModelRegistry:
         self._memory: Dict[str, Dict[str, Any]] = {}
         if root is not None:
             os.makedirs(root, exist_ok=True)
+
+    def _storage_chaos(
+        self, fn: Callable[..., Any], *args: Any
+    ) -> Any:
+        """Route a storage access through the chaos seam, if wired."""
+        if self.fault_injector is None:
+            return fn(*args)
+        return self.fault_injector.call("registry_storage", fn, *args)
 
     # ------------------------------------------------------------------
     # Architecture factories
@@ -309,7 +331,7 @@ class ModelRegistry:
             if not published:
                 raise KeyError(f"no versions published for model {name!r}")
             version = published[-1]
-        state = self._load_state(name, version)
+        state = self._storage_chaos(self._load_state, name, version)
         build = factory or self._factory_for(name, version)
         model = build()
         report = load_network_state_dict(model, state, strict=False)
@@ -350,7 +372,7 @@ class ModelRegistry:
                 return live
         # Not yet materialized in this process: resolve from the manifest
         # (e.g. a fresh process pointed at an existing on-disk registry).
-        version = self._read_manifest(name).get("active")
+        version = self._storage_chaos(self._read_manifest, name).get("active")
         if version is None:
             raise KeyError(f"model {name!r} has no active version")
         return self.activate(name, version)

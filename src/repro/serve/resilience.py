@@ -1,0 +1,624 @@
+"""Resilience layer: fault injection, retry/backoff, circuit breaking.
+
+PR 3 gave the serving path deadlines and backpressure shedding — the
+*happy-path* degradations.  This module supplies the systematic failure
+handling the GEMINI deployment setting (Sec. 6: a hospital stack that
+must survive slow models, full queues and flaky storage) actually
+requires, in three composable pieces:
+
+:class:`FaultInjector`
+    A seeded chaos harness.  Each named *site* (``"registry"``,
+    ``"model"``, ``"cache"``) carries a :class:`FaultProfile` of
+    error / latency / corruption rates; wrapping a call through
+    :meth:`FaultInjector.call` then raises :class:`InjectedFault`,
+    sleeps, or perturbs values with exactly those probabilities — drawn
+    from one seeded :mod:`repro.rng` stream, so a chaos run is
+    replayable like every other experiment in this repository.
+:class:`RetryPolicy`
+    Exponential backoff with **full jitter** (delay ~ U[0, min(cap,
+    base·2^attempt)] — the AWS-recommended variant that avoids retry
+    synchronization) plus an optional per-call *deadline budget*:
+    once the budget is spent, the last error propagates instead of
+    sleeping further.
+:class:`CircuitBreaker`
+    The classic closed → open → half-open machine over a sliding
+    outcome window.  While open, calls fail fast with
+    :class:`BreakerOpen` (the caller's cue to degrade, e.g. serve the
+    last-known-good model snapshot); after ``reset_timeout`` a limited
+    number of half-open probes decide between re-closing and
+    re-opening.  Every transition is counted and the current state is
+    exported as a gauge on the shared
+    :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+:class:`ResiliencePolicy` bundles the pieces into the per-server
+decision table consumed by :class:`~repro.serve.server.ModelServer`
+(see ``docs/RUNBOOK.md`` for the operator-facing degradation matrix).
+
+All sleeping is injectable (tests pass a recording fake), all timing
+uses ``time.monotonic`` (scheduling, not measurement — the telemetry
+clock stays the only measuring clock), and all randomness is seeded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Type
+
+from collections import deque
+
+import numpy as np
+
+from .. import rng as repro_rng
+from ..telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultProfile",
+    "InjectedFault",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+]
+
+SleepFn = Callable[[float], None]
+ClockFn = Callable[[], float]
+
+#: Gauge encoding of breaker states (``resilience/breaker/<name>/state``).
+BREAKER_CLOSED = 0
+BREAKER_HALF_OPEN = 1
+BREAKER_OPEN = 2
+
+_STATE_NAMES = {
+    BREAKER_CLOSED: "closed",
+    BREAKER_HALF_OPEN: "half_open",
+    BREAKER_OPEN: "open",
+}
+
+
+class InjectedFault(RuntimeError):
+    """A synthetic failure raised by :class:`FaultInjector`.
+
+    Carries the ``site`` it was injected at so tests and the rescue
+    paths can tell chaos apart from organic errors.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"injected fault at site {site!r}")
+
+
+class BreakerOpen(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.call` while the breaker is open."""
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        self.breaker_name = name
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit breaker {name!r} is open "
+            f"(retry in ~{retry_after:.3f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-site chaos rates consumed by :class:`FaultInjector`.
+
+    Parameters
+    ----------
+    error_rate:
+        Probability that a wrapped call raises :class:`InjectedFault`
+        *instead of* running.
+    latency_rate:
+        Probability that a wrapped call is delayed by
+        ``latency_seconds`` before running.
+    latency_seconds:
+        Injected delay for latency faults.
+    corruption_rate:
+        Probability that :meth:`FaultInjector.corrupt` perturbs a value
+        (used on the cache-write path, where checksums detect it).
+    """
+
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.05
+    corruption_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "latency_rate", "corruption_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {self.latency_seconds}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this profile can inject anything at all."""
+        return (
+            self.error_rate > 0
+            or self.latency_rate > 0
+            or self.corruption_rate > 0
+        )
+
+
+class FaultInjector:
+    """Seeded chaos harness wrapping external-facing serving calls.
+
+    Parameters
+    ----------
+    profiles:
+        ``{site: FaultProfile}`` table; sites not listed use
+        ``default`` (which defaults to "inject nothing").
+    default:
+        Profile applied to unlisted sites.
+    seed:
+        Root of the injector's private :mod:`repro.rng` stream; two
+        injectors built with the same seed replay the same fault
+        sequence for the same call order.
+    sleep:
+        Injectable delay function (tests substitute a recording fake
+        so latency faults are asserted, not slept).
+    metrics:
+        Registry receiving ``resilience/faults/<site>/<kind>_total``
+        counters; bound late by :meth:`bind_metrics` when ``None``.
+    """
+
+    def __init__(
+        self,
+        profiles: Optional[Dict[str, FaultProfile]] = None,
+        default: Optional[FaultProfile] = None,
+        seed: int = repro_rng.REPRO_DEFAULT_SEED,
+        sleep: SleepFn = time.sleep,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.profiles: Dict[str, FaultProfile] = dict(profiles or {})
+        self.default = default if default is not None else FaultProfile()
+        self._rng = repro_rng.spawn(seed, 0x5EED)
+        self._rng_lock = threading.Lock()
+        self._sleep = sleep
+        self.metrics = metrics
+
+    @classmethod
+    def chaos(
+        cls,
+        error_rate: float = 0.1,
+        latency_rate: float = 0.1,
+        latency_seconds: float = 0.05,
+        corruption_rate: float = 0.1,
+        seed: int = repro_rng.REPRO_DEFAULT_SEED,
+        sleep: SleepFn = time.sleep,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "FaultInjector":
+        """The canonical ``--chaos`` configuration.
+
+        Errors and latency spikes hit the model and registry sites;
+        corruption hits the cache-write site (where checksums make it
+        detectable instead of silently wrong).
+        """
+        return cls(
+            profiles={
+                "model": FaultProfile(
+                    error_rate=error_rate,
+                    latency_rate=latency_rate,
+                    latency_seconds=latency_seconds,
+                ),
+                "registry": FaultProfile(
+                    error_rate=error_rate,
+                    latency_rate=latency_rate,
+                    latency_seconds=latency_seconds,
+                ),
+                "cache": FaultProfile(corruption_rate=corruption_rate),
+            },
+            seed=seed,
+            sleep=sleep,
+            metrics=metrics,
+        )
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Adopt ``metrics`` unless a registry was already injected."""
+        if self.metrics is None:
+            self.metrics = metrics
+
+    def profile(self, site: str) -> FaultProfile:
+        """The effective :class:`FaultProfile` for ``site``."""
+        return self.profiles.get(site, self.default)
+
+    def _draw(self) -> float:
+        with self._rng_lock:
+            return float(self._rng.random())
+
+    def _count(self, site: str, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"resilience/faults/{site}/{kind}_total"
+            ).inc()
+
+    def call(self, site: str, fn: Callable[..., Any], *args: Any,
+             **kwargs: Any) -> Any:
+        """Run ``fn`` through the chaos profile of ``site``.
+
+        Ordering is latency-then-error: a call can be both delayed and
+        failed, like a genuinely overloaded dependency.
+        """
+        prof = self.profile(site)
+        if prof.active:
+            if prof.latency_rate > 0 and self._draw() < prof.latency_rate:
+                self._count(site, "latency")
+                self._sleep(prof.latency_seconds)
+            if prof.error_rate > 0 and self._draw() < prof.error_rate:
+                self._count(site, "error")
+                raise InjectedFault(site)
+        return fn(*args, **kwargs)
+
+    def corrupt(self, site: str, value: Any) -> Any:
+        """Maybe return a corrupted copy of ``value`` (cache-write chaos).
+
+        Numeric payloads are bit-perturbed (negated and nudged) so a
+        content checksum no longer matches; non-numeric payloads are
+        replaced with a sentinel string.  Callers must only feed this
+        into paths with integrity checking — the point is *detectable*
+        corruption.
+        """
+        prof = self.profile(site)
+        if prof.corruption_rate <= 0 or self._draw() >= prof.corruption_rate:
+            return value
+        self._count(site, "corruption")
+        arr = np.asarray(value)
+        if arr.dtype.kind in "fiub":
+            return (-np.asarray(arr, dtype=np.float64) - 1.5).astype(
+                np.float64
+            )
+        return "<corrupted>"
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and full jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first call (1 disables retrying).
+    base_delay, max_delay:
+        Backoff grows as ``base_delay * 2**attempt`` capped at
+        ``max_delay``; the actual sleep is uniform on ``[0, cap]``
+        ("full jitter"), decorrelating competing retriers.
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately.
+    seed:
+        Seeds the private jitter stream (replayable backoff schedules).
+    sleep, clock:
+        Injectable delay / monotonic-time functions for tests.
+    metrics:
+        Registry receiving ``resilience/retries_total`` and
+        ``resilience/retry_exhausted_total``.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.005,
+        max_delay: float = 0.05,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        seed: int = repro_rng.REPRO_DEFAULT_SEED,
+        sleep: SleepFn = time.sleep,
+        clock: ClockFn = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.retry_on = retry_on
+        self._rng = repro_rng.spawn(seed, 0xB0FF)
+        self._rng_lock = threading.Lock()
+        self._sleep = sleep
+        self._clock = clock
+        self.metrics = metrics
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Adopt ``metrics`` unless a registry was already injected."""
+        if self.metrics is None:
+            self.metrics = metrics
+
+    def backoff_cap(self, attempt: int) -> float:
+        """The jitter interval's upper bound after failed attempt N (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.max_delay, self.base_delay * (2.0 ** attempt))
+
+    def _jittered(self, attempt: int) -> float:
+        cap = self.backoff_cap(attempt)
+        if cap <= 0.0:
+            return 0.0
+        with self._rng_lock:
+            return float(self._rng.uniform(0.0, cap))
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        budget: Optional[float] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``fn`` with retries; returns its first successful result.
+
+        ``budget`` is a wall-clock allowance in seconds for the *whole*
+        affair (attempts plus backoff sleeps): when the next backoff
+        would overrun it, the last error propagates immediately — the
+        per-request deadline machinery upstream stays meaningful.
+        """
+        deadline = None if budget is None else self._clock() + budget
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self._jittered(attempt)
+                if deadline is not None and self._clock() + delay > deadline:
+                    break
+                if self.metrics is not None:
+                    self.metrics.counter("resilience/retries_total").inc()
+                if delay > 0.0:
+                    self._sleep(delay)
+        if self.metrics is not None:
+            self.metrics.counter("resilience/retry_exhausted_total").inc()
+        if last is None:  # pragma: no cover - loop always runs once
+            raise RuntimeError("retry loop finished without an attempt")
+        raise last
+
+
+class CircuitBreaker:
+    """Sliding-window circuit breaker with telemetry-visible transitions.
+
+    Parameters
+    ----------
+    name:
+        Instrument namespace: state lives in the gauge
+        ``resilience/breaker/<name>/state`` (0 closed, 1 half-open,
+        2 open) and transitions in
+        ``resilience/breaker/<name>/transitions_total`` /
+        ``opened_total``.
+    window:
+        Number of most-recent outcomes considered.
+    failure_threshold:
+        Failure *rate* over the window that trips the breaker open.
+    min_calls:
+        Outcomes required in the window before the rate is evaluated
+        (prevents one early failure from reading as 100%).
+    reset_timeout:
+        Seconds to stay open before allowing half-open probes.
+    half_open_probes:
+        Consecutive successful probes required to re-close; any probe
+        failure re-opens immediately.
+    clock:
+        Injectable monotonic clock (scheduling, not measurement).
+    metrics:
+        Shared registry; bound late by :meth:`bind_metrics` when
+        ``None``.
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        window: int = 32,
+        failure_threshold: float = 0.5,
+        min_calls: int = 8,
+        reset_timeout: float = 1.0,
+        half_open_probes: int = 2,
+        clock: ClockFn = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {min_calls}")
+        if reset_timeout < 0:
+            raise ValueError(
+                f"reset_timeout must be >= 0, got {reset_timeout}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self.window = int(window)
+        self.failure_threshold = float(failure_threshold)
+        self.min_calls = int(min_calls)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=self.window)
+        self._state = BREAKER_CLOSED
+        self._opened_at = 0.0
+        self._probe_successes = 0
+        self._probes_in_flight = 0
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Adopt ``metrics`` unless a registry was already injected."""
+        if self.metrics is None:
+            self.metrics = metrics
+        self._export_state_locked_free()
+
+    # -- state machine -------------------------------------------------
+    def _transition_locked(self, new_state: int) -> None:
+        # *_locked: every caller must hold self._lock.
+        if new_state == self._state:
+            return
+        self._state = new_state
+        if new_state == BREAKER_OPEN:
+            self._opened_at = self._clock()
+            self._outcomes.clear()
+        if new_state == BREAKER_HALF_OPEN:
+            self._probe_successes = 0
+            self._probes_in_flight = 0
+        if new_state == BREAKER_CLOSED:
+            self._outcomes.clear()
+        if self.metrics is not None:
+            base = f"resilience/breaker/{self.name}"
+            self.metrics.counter(f"{base}/transitions_total").inc()
+            if new_state == BREAKER_OPEN:
+                self.metrics.counter(f"{base}/opened_total").inc()
+        self._export_state_locked_free()
+
+    def _export_state_locked_free(self) -> None:
+        # Gauge writes are single assignments; safe with or without the
+        # lock held (named *_locked_free to record that).
+        if self.metrics is not None:
+            self.metrics.gauge(
+                f"resilience/breaker/{self.name}/state"
+            ).set(float(self._state))
+
+    @property
+    def state(self) -> str:
+        """Current state name: ``closed`` / ``open`` / ``half_open``."""
+        with self._lock:
+            return _STATE_NAMES[self._state]
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 otherwise)."""
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.reset_timeout - elapsed)
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (may flip open → half-open)."""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout:
+                    return False
+                self._transition_locked(BREAKER_HALF_OPEN)
+            # Half-open: admit a bounded number of concurrent probes.
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record(self, ok: bool) -> None:
+        """Feed one call outcome into the window / probe accounting."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                if not ok:
+                    self._transition_locked(BREAKER_OPEN)
+                    return
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._transition_locked(BREAKER_CLOSED)
+                return
+            if self._state == BREAKER_OPEN:
+                return
+            self._outcomes.append(ok)
+            if len(self._outcomes) < self.min_calls:
+                return
+            failures = sum(1 for outcome in self._outcomes if not outcome)
+            if failures / len(self._outcomes) >= self.failure_threshold:
+                self._transition_locked(BREAKER_OPEN)
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Gate ``fn`` through the breaker, recording its outcome.
+
+        Raises :class:`BreakerOpen` without calling ``fn`` when the
+        breaker rejects the call.
+        """
+        if not self.allow():
+            raise BreakerOpen(self.name, self.retry_after())
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record(False)
+            raise
+        self.record(True)
+        return result
+
+
+@dataclass
+class ResiliencePolicy:
+    """The per-server failure-handling decision table.
+
+    Attributes
+    ----------
+    retry:
+        Applied to model dispatch (batched *and* inline) and registry
+        loads.
+    registry_breaker:
+        Guards registry resolution; while open, the server falls back
+        to its last-known-good :class:`~repro.serve.registry.ActiveModel`
+        snapshot instead of touching the registry.
+    rescue_batch_errors:
+        When True, a request whose coalesced batch failed (after
+        retries) is re-scored on the caller's thread via the inline
+        path instead of surfacing the batch error — the batch blast
+        radius shrinks to the genuinely poisoned rows.
+    cache_integrity:
+        When True, the server's :class:`~repro.serve.cache.PredictionCache`
+        checksums entries and treats mismatches as misses (the
+        cache-poisoning degrade decision).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    registry_breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(name="registry")
+    )
+    rescue_batch_errors: bool = True
+    cache_integrity: bool = True
+
+    @classmethod
+    def default(
+        cls,
+        metrics: Optional[MetricsRegistry] = None,
+        seed: int = repro_rng.REPRO_DEFAULT_SEED,
+    ) -> "ResiliencePolicy":
+        """Production defaults documented in ``docs/RUNBOOK.md``."""
+        policy = cls(
+            retry=RetryPolicy(
+                max_attempts=4,
+                base_delay=0.005,
+                max_delay=0.05,
+                seed=seed,
+            ),
+            registry_breaker=CircuitBreaker(
+                name="registry",
+                window=32,
+                failure_threshold=0.5,
+                min_calls=8,
+                reset_timeout=0.5,
+                half_open_probes=2,
+            ),
+        )
+        if metrics is not None:
+            policy.bind_metrics(metrics)
+        return policy
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Point every component at the server's shared registry."""
+        self.retry.bind_metrics(metrics)
+        self.registry_breaker.bind_metrics(metrics)
+
+    def breakers(self) -> List[CircuitBreaker]:
+        """Every breaker owned by this policy (for health reporting)."""
+        return [self.registry_breaker]

@@ -16,6 +16,18 @@ it:
    it the same way (``serve/deadline_expired_total``) — callers always
    get an answer, memory stays bounded.
 
+With a :class:`~repro.serve.resilience.ResiliencePolicy` attached the
+unhappy paths get the same treatment: model and registry calls are
+retried with jittered backoff, registry resolution sits behind a
+circuit breaker whose open state degrades to the last-known-good model
+snapshot (``resilience/stale_model_served_total``), a failed coalesced
+batch is rescued row-by-row on the callers' threads
+(``serve/rescued_total``), and cache entries carry integrity checksums
+so a poisoned entry costs one recompute instead of a wrong answer.
+:meth:`ModelServer.health` exposes the whole picture — queue depth,
+breaker states, cache hit rate, active version — as the operator
+probe documented in ``docs/RUNBOOK.md``.
+
 Every step is instrumented on a
 :class:`~repro.telemetry.metrics.MetricsRegistry`: request/batch/shed
 counters, cache hit/miss counters, a queue-depth gauge and latency /
@@ -39,9 +51,10 @@ from typing import Any, Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from ..telemetry.metrics import MetricsRegistry
-from .batching import MicroBatcher, ServeRequest
+from .batching import MicroBatcher, ServeRequest, ServerClosed
 from .cache import PredictionCache
-from .registry import ModelRegistry
+from .registry import ActiveModel, ModelRegistry
+from .resilience import BreakerOpen, FaultInjector, ResiliencePolicy
 
 __all__ = ["ModelServer"]
 
@@ -66,6 +79,17 @@ class ModelServer:
     metrics:
         Shared registry for instruments; a private one is created by
         default.
+    resilience:
+        A :class:`~repro.serve.resilience.ResiliencePolicy` giving every
+        external-facing call site its retry / breaker / degrade
+        decision.  ``None`` keeps the PR-3 happy-path behaviour, except
+        that attaching a ``fault_injector`` implies
+        ``ResiliencePolicy.default()`` — chaos without resilience would
+        just be a broken server.
+    fault_injector:
+        Optional :class:`~repro.serve.resilience.FaultInjector` whose
+        ``"model"`` / ``"registry"`` / ``"cache"`` sites wrap the
+        corresponding calls (the ``--chaos`` harness).
     """
 
     def __init__(
@@ -79,6 +103,8 @@ class ModelServer:
         workers: int = 2,
         cache_size: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
@@ -88,7 +114,21 @@ class ModelServer:
         self._registry = registry
         self._name = name
         self.metrics = metrics or MetricsRegistry()
-        self.cache = PredictionCache(cache_size)
+        if resilience is None and fault_injector is not None:
+            resilience = ResiliencePolicy.default()
+        self.resilience = resilience
+        self.fault_injector = fault_injector
+        if self.resilience is not None:
+            self.resilience.bind_metrics(self.metrics)
+        if self.fault_injector is not None:
+            self.fault_injector.bind_metrics(self.metrics)
+        integrity = (
+            self.resilience.cache_integrity
+            if self.resilience is not None
+            else False
+        )
+        self.cache = PredictionCache(cache_size, integrity=integrity)
+        self._last_good: Optional[ActiveModel] = None
         self._closed = False
         self._close_lock = threading.Lock()
         self._batcher = MicroBatcher(
@@ -135,11 +175,16 @@ class ModelServer:
         leading axis is squeezed away).  ``deadline`` is a per-request
         budget in seconds: a request still queued when it expires is
         cancelled and answered inline instead of erroring.
+
+        Raises
+        ------
+        ServerClosed
+            When the server (or its batcher) has begun shutting down.
         """
         clock = self.metrics.clock
         start = clock()
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise ServerClosed()
         row = self._normalize_row(row)
         version, model = self._resolve()
         if not callable(getattr(model, method, None)):
@@ -186,7 +231,7 @@ class ModelServer:
         row order of ``x``.
         """
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise ServerClosed()
         clock = self.metrics.clock
         results: List[Any] = [None] * len(x)
         to_submit: List[Tuple[int, ServeRequest]] = []
@@ -238,29 +283,115 @@ class ModelServer:
             row = row[0]
         return row
 
+    def _load_active(self) -> ActiveModel:
+        """One chaos-wrapped registry resolution (the breaker's payload)."""
+        registry = self._registry
+        if registry is None:  # pragma: no cover - guarded by _resolve
+            raise RuntimeError("no registry attached")
+        name = self._name or ""
+        if self.fault_injector is not None:
+            active = self.fault_injector.call("registry", registry.active, name)
+        else:
+            active = registry.active(name)
+        return active
+
     def _resolve(self) -> Tuple[str, Any]:
-        """Current ``(version, model)`` — re-read per batch for hot-swap."""
-        if self._registry is not None:
-            active = self._registry.active(self._name)
+        """Current ``(version, model)`` — re-read per batch for hot-swap.
+
+        With a resilience policy, registry resolution is retried with
+        backoff *inside* the registry circuit breaker; when the breaker
+        is open (or the load still fails after retries) the last-known-
+        good snapshot is served instead
+        (``resilience/stale_model_served_total``) — an unavailable
+        registry degrades to stale-but-correct answers rather than
+        errors.  Only when no snapshot exists yet does the failure
+        propagate.
+        """
+        if self._registry is None:
+            return "v0", self._model
+        policy = self.resilience
+        if policy is None:
+            active = self._load_active()
+            self._last_good = active
             return active.version, active.model
-        return "v0", self._model
+        try:
+            active = policy.registry_breaker.call(
+                policy.retry.call, self._load_active
+            )
+        except BreakerOpen:
+            stale = self._last_good
+            if stale is None:
+                raise
+            self.metrics.counter(
+                "resilience/stale_model_served_total"
+            ).inc()
+            return stale.version, stale.model
+        except Exception:
+            stale = self._last_good
+            if stale is None:
+                raise
+            self.metrics.counter(
+                "resilience/stale_model_served_total"
+            ).inc()
+            return stale.version, stale.model
+        self._last_good = active
+        return active.version, active.model
+
+    def _score(self, model: Any, method: str, batch: np.ndarray) -> Any:
+        """One (chaos-wrapped, retried) model call on a stacked batch."""
+        bound = getattr(model, method)
+        if self.fault_injector is not None:
+            if self.resilience is not None:
+                return self.resilience.retry.call(
+                    self.fault_injector.call, "model", bound, batch
+                )
+            return self.fault_injector.call("model", bound, batch)
+        if self.resilience is not None:
+            return self.resilience.retry.call(bound, batch)
+        return bound(batch)
 
     def _dispatch(self, method: str, rows: List[np.ndarray]) -> List[Any]:
         """Score a coalesced batch with a single model call."""
         version, model = self._resolve()
         batch = np.stack(rows)
         with self.metrics.timer("serve/dispatch_seconds"):
-            out = getattr(model, method)(batch)
+            out = self._score(model, method, batch)
         self.metrics.counter("serve/batches_total").inc()
         self.metrics.histogram("serve/batch_size").observe(len(rows))
         self._gauge_depth()
         results = list(out)
         if self.cache.maxsize:
             for row, result in zip(rows, results):
-                self.cache.put(
+                self._cache_put(
                     PredictionCache.make_key(method, version, row), result
                 )
         return results
+
+    def _cache_put(self, key: bytes, value: Any) -> None:
+        """Store a result, routing through cache chaos and degrading on error.
+
+        Under chaos the ``"cache"`` site may corrupt the stored bytes;
+        the poisoned copy is planted under the *honest* checksum
+        (:meth:`PredictionCache.put_poisoned`) so the next lookup
+        detects the mismatch and recomputes — the detectable-corruption
+        drill.  Any cache failure only costs the memoization, never the
+        request: errors are counted (``resilience/cache_errors_total``)
+        and swallowed.
+        """
+        try:
+            if self.fault_injector is not None:
+                checksum_value = value
+                stored = self.fault_injector.corrupt("cache", value)
+                if stored is not checksum_value and self.cache.integrity:
+                    # Plant the poisoned bytes *under the honest
+                    # checksum* so the next get() detects the mismatch —
+                    # the detectable-corruption drill.
+                    self.cache.put_poisoned(key, stored, checksum_value)
+                    return
+                value = stored
+            self.cache.put(key, value)
+        except Exception:
+            self.metrics.counter("resilience/cache_errors_total").inc()
 
     def _predict_inline(
         self,
@@ -271,16 +402,43 @@ class ModelServer:
         start: float,
     ) -> Any:
         """Single-item sync path used for shedding and expired deadlines."""
-        result = getattr(model, method)(row[np.newaxis, ...])[0]
+        result = self._score(model, method, row[np.newaxis, ...])[0]
         if key is not None:
-            self.cache.put(key, result)
+            self._cache_put(key, result)
         self._observe_latency(self.metrics.clock() - start)
         return result
 
     def _finish(self, request: ServeRequest, start: float) -> Any:
-        self._observe_latency(self.metrics.clock() - start)
+        """Deliver a completed request's result (or rescue/raise its error).
+
+        A request whose coalesced batch failed even after the dispatch
+        retries is, under ``rescue_batch_errors``, re-scored alone on
+        the caller's thread (``serve/rescued_total``) — one poisoned row
+        can fail a batch, but it should not fail its 31 neighbours.
+        :class:`ServerClosed` is never rescued; shutdown is not a fault.
+        """
         if request.error is not None:
+            policy = self.resilience
+            if (
+                policy is not None
+                and policy.rescue_batch_errors
+                and not isinstance(request.error, ServerClosed)
+            ):
+                self.metrics.counter("serve/rescued_total").inc()
+                version, model = self._resolve()
+                key = (
+                    PredictionCache.make_key(
+                        request.method, version, request.row
+                    )
+                    if self.cache.maxsize
+                    else None
+                )
+                return self._predict_inline(
+                    request.method, request.row, model, key, start
+                )
+            self._observe_latency(self.metrics.clock() - start)
             raise request.error
+        self._observe_latency(self.metrics.clock() - start)
         return request.result
 
     def _observe_latency(self, seconds: float) -> None:
@@ -295,7 +453,9 @@ class ModelServer:
     def close(self, drain: bool = True) -> None:
         """Stop the worker pool (idempotent).
 
-        ``drain=True`` completes queued requests first.
+        ``drain=True`` completes queued requests first; ``drain=False``
+        fails them promptly with :class:`ServerClosed`.  Either way no
+        accepted request is left blocking forever.
         """
         with self._close_lock:
             if self._closed:
@@ -316,7 +476,92 @@ class ModelServer:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has begun; closed servers reject requests."""
         return self._closed
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/diagnostics probe: one consistent operator-facing dict.
+
+        Keys (see ``docs/RUNBOOK.md`` for the semantics table):
+
+        - ``status`` — ``"ok"``, ``"degraded"`` (some circuit breaker is
+          not closed: the stack answers but from fallbacks), or
+          ``"closed"``;
+        - ``queue_depth`` / ``queue_capacity`` / ``queue_saturation`` —
+          backpressure headroom (saturation 1.0 means new requests shed
+          to the inline path);
+        - ``cache`` — the full :meth:`PredictionCache.stats` snapshot
+          (hit rate, evictions, detected corruptions);
+        - ``breakers`` — ``{name: state}`` for every breaker in the
+          resilience policy (empty without one);
+        - ``active_model`` — ``{"name", "version", "stale"}`` of what a
+          request would be scored by right now (``version=None`` when
+          nothing is resolvable), ``stale=True`` when it is the
+          last-known-good fallback rather than a live resolution.
+        """
+        depth = self._batcher.depth()
+        capacity = self._batcher.max_queue
+        breakers: Dict[str, str] = {}
+        if self.resilience is not None:
+            breakers = {
+                breaker.name: breaker.state
+                for breaker in self.resilience.breakers()
+            }
+        active: Dict[str, Any] = {"name": self._name, "version": None,
+                                  "stale": False}
+        if self._registry is None:
+            active = {
+                "name": type(self._model).__name__,
+                "version": "v0",
+                "stale": False,
+            }
+        else:
+            try:
+                version, _model = self._resolve()
+                stale_snapshot = self._last_good
+                active["version"] = version
+                active["stale"] = bool(
+                    stale_snapshot is not None
+                    and breakers.get("registry") not in (None, "closed")
+                )
+            except Exception:
+                active["version"] = None
+                active["stale"] = False
+        if self._closed:
+            status = "closed"
+        elif any(state != "closed" for state in breakers.values()):
+            status = "degraded"
+        elif active["version"] is None:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "closed": self._closed,
+            "queue_depth": depth,
+            "queue_capacity": capacity,
+            "queue_saturation": depth / capacity if capacity else 0.0,
+            "workers": self._batcher.workers,
+            "cache": self.cache.stats(),
+            "breakers": breakers,
+            "active_model": active,
+        }
+
+    def ready(self) -> bool:
+        """Readiness probe: can this replica answer a request right now?
+
+        True when the server is open *and* a model is resolvable —
+        either live or via the stale-snapshot fallback.  Load balancers
+        should route only to ready replicas; :meth:`health` explains
+        *why* one is not.
+        """
+        if self._closed:
+            return False
+        try:
+            version, _model = self._resolve()
+        except Exception:
+            return False
+        return version is not None
 
     def stats(self) -> Dict[str, Any]:
         """Derived serving stats on top of the raw metrics snapshot."""
@@ -331,6 +576,11 @@ class ModelServer:
             "deadline_expired": counters.get(
                 "serve/deadline_expired_total", 0.0
             ),
+            "rescued": counters.get("serve/rescued_total", 0.0),
+            "stale_model_served": counters.get(
+                "resilience/stale_model_served_total", 0.0
+            ),
+            "retries": counters.get("resilience/retries_total", 0.0),
             "cache_hit_rate": self.cache.hit_rate,
             "mean_batch_size": (
                 batch_hist.mean if batch_hist.count else 0.0

@@ -106,6 +106,7 @@ class JsonlRunLogger(Callback):
         self._stream.flush()
 
     def close(self) -> None:
+        """Flush and close the stream (only if this logger opened it)."""
         if self._own_stream and self._stream is not None:
             self._stream.close()
         self._stream = None
@@ -129,6 +130,7 @@ class JsonlRunLogger(Callback):
 
     # -- hooks --------------------------------------------------------
     def on_train_start(self, ctx: RunContext) -> None:
+        """Emit a ``train_start`` event and bump the run counter."""
         self._run += 1
         self._emit({
             "event": "train_start",
@@ -141,6 +143,7 @@ class JsonlRunLogger(Callback):
         })
 
     def on_batch_end(self, info: BatchInfo, ctx: RunContext) -> None:
+        """Emit a ``batch_end`` event (suppressed unless ``log_batches``)."""
         if not self.log_batches:
             return
         self._emit({
@@ -154,6 +157,7 @@ class JsonlRunLogger(Callback):
         })
 
     def on_em_step(self, info: EMStepInfo, ctx: RunContext) -> None:
+        """Emit an ``em_step`` event (suppressed unless ``log_em_steps``)."""
         if not self.log_em_steps:
             return
         self._emit({
@@ -167,6 +171,7 @@ class JsonlRunLogger(Callback):
         })
 
     def on_epoch_end(self, record, ctx: RunContext) -> None:
+        """Emit an ``epoch_end`` event with phase timings and GM state."""
         self._emit({
             "event": "epoch_end",
             "run": self._run,
@@ -180,6 +185,7 @@ class JsonlRunLogger(Callback):
         })
 
     def on_train_end(self, history, ctx: RunContext) -> None:
+        """Emit a ``train_end`` event with the full metrics snapshot."""
         self._emit({
             "event": "train_end",
             "run": self._run,
@@ -216,9 +222,11 @@ class GMStateRecorder(Callback):
             self.trajectory.setdefault(param.name, []).append(snapshot)
 
     def on_train_start(self, ctx: RunContext) -> None:
+        """Record the pre-training GM state as epoch ``-1``."""
         self._record(-1, ctx)
 
     def on_epoch_end(self, record, ctx: RunContext) -> None:
+        """Append this epoch's GM snapshot to the trajectory."""
         self._record(record.epoch, ctx)
 
     def pi_series(self, param_name: str) -> List[List[float]]:
@@ -270,11 +278,13 @@ class EarlyStopping(Callback):
         self._stall = 0
 
     def on_train_start(self, ctx: RunContext) -> None:
+        """Reset the best-so-far/stall state (the callback is reusable)."""
         self.best = None
         self.stopped_epoch = None
         self._stall = 0
 
     def on_epoch_end(self, record, ctx: RunContext) -> None:
+        """Track the monitored value; request a stop after ``patience`` stalls."""
         value = getattr(record, self.monitor)
         if value is None:
             raise ValueError(
@@ -335,6 +345,7 @@ class CheckpointCallback(Callback):
         self.saved_paths.append(path)
 
     def on_epoch_end(self, record, ctx: RunContext) -> None:
+        """Save per the ``every`` / ``save_best_only`` schedule."""
         if self.save_best_only:
             value = getattr(record, self.monitor)
             if value is None:
@@ -351,6 +362,7 @@ class CheckpointCallback(Callback):
         self._save(record.epoch, ctx)
 
     def on_train_end(self, history, ctx: RunContext) -> None:
+        """Ensure the final epoch is persisted (unless best-only mode)."""
         if self.save_best_only or not history.records:
             return
         last = history.records[-1].epoch
@@ -371,6 +383,7 @@ class ProgressReporter(Callback):
         return self.stream if self.stream is not None else sys.stderr
 
     def on_epoch_end(self, record, ctx: RunContext) -> None:
+        """Print one progress line every ``every`` epochs."""
         if (record.epoch + 1) % self.every != 0:
             return
         val = (
@@ -385,6 +398,7 @@ class ProgressReporter(Callback):
         )
 
     def on_train_end(self, history, ctx: RunContext) -> None:
+        """Print the closing summary line (epochs run / convergence)."""
         tag = (
             f"converged at epoch {history.converged_epoch}"
             if history.converged_epoch is not None
@@ -401,6 +415,7 @@ class MetricsSummary(Callback):
         self.stream = stream
 
     def on_train_end(self, history, ctx: RunContext) -> None:
+        """Print phase shares, counters and gauges from the run's metrics."""
         out = self.stream if self.stream is not None else sys.stderr
         snapshot = ctx.metrics.snapshot()
         print("--- metrics ---", file=out)

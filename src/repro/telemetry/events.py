@@ -169,10 +169,12 @@ class CallbackList(Callback):
 
     @property
     def wants_em_step(self) -> bool:
+        """Whether any member overrides ``on_em_step`` (hot-path gate)."""
         return self._any_overrides("on_em_step")
 
     @property
     def wants_batch_end(self) -> bool:
+        """Whether any member overrides ``on_batch_end`` (hot-path gate)."""
         return self._any_overrides("on_batch_end")
 
     def __len__(self) -> int:
@@ -183,25 +185,31 @@ class CallbackList(Callback):
 
     # -- fan-out ------------------------------------------------------
     def on_train_start(self, ctx: RunContext) -> None:
+        """Forward the train-start event to every member, in order."""
         for cb in self.callbacks:
             cb.on_train_start(ctx)
 
     def on_epoch_start(self, epoch: int, ctx: RunContext) -> None:
+        """Forward the epoch-start event to every member, in order."""
         for cb in self.callbacks:
             cb.on_epoch_start(epoch, ctx)
 
     def on_batch_end(self, info: BatchInfo, ctx: RunContext) -> None:
+        """Forward the batch-end event to every member, in order."""
         for cb in self.callbacks:
             cb.on_batch_end(info, ctx)
 
     def on_em_step(self, info: EMStepInfo, ctx: RunContext) -> None:
+        """Forward the EM-step event to every member, in order."""
         for cb in self.callbacks:
             cb.on_em_step(info, ctx)
 
     def on_epoch_end(self, record: "EpochRecord", ctx: RunContext) -> None:
+        """Forward the epoch-end event to every member, in order."""
         for cb in self.callbacks:
             cb.on_epoch_end(record, ctx)
 
     def on_train_end(self, history: "TrainingHistory", ctx: RunContext) -> None:
+        """Forward the train-end event to every member, in order."""
         for cb in self.callbacks:
             cb.on_train_end(history, ctx)

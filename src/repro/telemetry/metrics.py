@@ -27,6 +27,7 @@ consume.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -55,6 +56,7 @@ class Counter:
         self.value += amount
 
     def reset(self) -> None:
+        """Zero the count (run-boundary housekeeping, e.g. between passes)."""
         self.value = 0.0
 
     def __repr__(self) -> str:
@@ -69,9 +71,11 @@ class Gauge:
         self.value: Optional[float] = None
 
     def set(self, value: float) -> None:
+        """Record ``value`` as the current observation (replaces the last)."""
         self.value = float(value)
 
     def reset(self) -> None:
+        """Clear the observation back to "never set" (``None``)."""
         self.value = None
 
     def __repr__(self) -> str:
@@ -91,30 +95,36 @@ class Histogram:
         self.values: List[float] = []
 
     def observe(self, value: float) -> None:
+        """Append one sample to the distribution."""
         self.values.append(float(value))
 
     @property
     def count(self) -> int:
+        """Number of samples observed so far."""
         return len(self.values)
 
     @property
     def sum(self) -> float:
+        """Sum of all observed samples (0.0 when empty)."""
         return float(sum(self.values))
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the samples; raises on an empty histogram."""
         if not self.values:
             raise ValueError(f"histogram {self.name!r} is empty")
         return self.sum / self.count
 
     @property
     def min(self) -> float:
+        """Smallest observed sample; raises on an empty histogram."""
         if not self.values:
             raise ValueError(f"histogram {self.name!r} is empty")
         return min(self.values)
 
     @property
     def max(self) -> float:
+        """Largest observed sample; raises on an empty histogram."""
         if not self.values:
             raise ValueError(f"histogram {self.name!r} is empty")
         return max(self.values)
@@ -130,6 +140,7 @@ class Histogram:
         return ordered[rank]
 
     def reset(self) -> None:
+        """Drop every sample (the instrument itself stays registered)."""
         self.values = []
 
     def summary(self) -> Dict[str, float]:
@@ -161,30 +172,42 @@ class PhaseTimer:
     ``total_seconds`` accumulates across entries; ``count`` is the
     number of completed timed sections.  The clock is injected by the
     owning registry so fake clocks make timing tests deterministic.
+
+    The stopwatch is **thread-safe**: each thread times its own span
+    (start stamps live in thread-local storage) and the accumulated
+    totals are updated under a lock, so concurrent sections — e.g. two
+    serve workers inside ``serve/dispatch_seconds`` at once — each
+    contribute their full duration.  Misuse stays loud: starting a
+    timer twice *on the same thread* (or stopping one that thread never
+    started) raises.
     """
 
     def __init__(self, name: str, clock: Clock):
         self.name = name
         self._clock = clock
+        self._lock = threading.Lock()
         self.total_seconds = 0.0
         self.count = 0
         self.last_seconds = 0.0
-        self._started: Optional[float] = None
+        self._span = threading.local()
 
     def start(self) -> None:
-        if self._started is not None:
+        """Stamp this thread's span start (one running span per thread)."""
+        if getattr(self._span, "started", None) is not None:
             raise RuntimeError(f"timer {self.name!r} is already running")
-        self._started = self._clock()
+        self._span.started = self._clock()
 
     def stop(self) -> float:
         """Stop the stopwatch; returns and accumulates the elapsed span."""
-        if self._started is None:
+        started = getattr(self._span, "started", None)
+        if started is None:
             raise RuntimeError(f"timer {self.name!r} was not started")
-        elapsed = self._clock() - self._started
-        self._started = None
-        self.total_seconds += elapsed
-        self.last_seconds = elapsed
-        self.count += 1
+        elapsed = self._clock() - started
+        self._span.started = None
+        with self._lock:
+            self.total_seconds += elapsed
+            self.last_seconds = elapsed
+            self.count += 1
         return elapsed
 
     def __enter__(self) -> "PhaseTimer":
@@ -201,15 +224,19 @@ class PhaseTimer:
 
     @property
     def mean_seconds(self) -> float:
+        """Mean duration per completed span (0.0 before any complete)."""
         return self.total_seconds / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.total_seconds = 0.0
-        self.count = 0
-        self.last_seconds = 0.0
-        self._started = None
+        """Zero the accumulated totals (this thread's open span too)."""
+        with self._lock:
+            self.total_seconds = 0.0
+            self.count = 0
+            self.last_seconds = 0.0
+        self._span.started = None
 
     def summary(self) -> Dict[str, float]:
+        """Snapshot dict: completed-span count, total and mean seconds."""
         return {
             "count": self.count,
             "total_seconds": self.total_seconds,
@@ -241,18 +268,22 @@ class MetricsRegistry:
 
     # -- instrument accessors -----------------------------------------
     def counter(self, name: str) -> Counter:
+        """The :class:`Counter` named ``name`` (created on first access)."""
         self._check_kind(name, self._counters)
         return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
+        """The :class:`Gauge` named ``name`` (created on first access)."""
         self._check_kind(name, self._gauges)
         return self._gauges.setdefault(name, Gauge(name))
 
     def histogram(self, name: str) -> Histogram:
+        """The :class:`Histogram` named ``name`` (created on first access)."""
         self._check_kind(name, self._histograms)
         return self._histograms.setdefault(name, Histogram(name))
 
     def timer(self, name: str) -> PhaseTimer:
+        """The :class:`PhaseTimer` named ``name``, on the shared clock."""
         self._check_kind(name, self._timers)
         return self._timers.setdefault(name, PhaseTimer(name, self.clock))
 

@@ -1,0 +1,258 @@
+"""Offline markdown link checker for the repository's docs.
+
+The operator docs (``README.md``, ``DESIGN.md``, ``docs/``) cross-link
+heavily — runbook sections reference architecture diagrams, the README
+links into both — and dead links rot silently until a reader hits
+them.  This tool makes the docs graph a CI invariant:
+
+- every **relative link** must resolve to an existing file or
+  directory (resolved against the linking file's own directory);
+- every **anchor fragment** (``#queue-saturation``, in-page or
+  cross-page) must match a heading in the target markdown file, using
+  GitHub's heading-to-slug rules (lowercase, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicates);
+- links inside fenced code blocks and inline code spans are ignored
+  (they are examples, not navigation);
+- **external** links (``http://``, ``https://``, ``mailto:``) are
+  skipped — CI runs offline, and flaky third-party servers must not
+  fail the build.
+
+Usage::
+
+    python -m repro.tools.linkcheck README.md DESIGN.md docs/
+
+Directories are walked recursively for ``*.md``.  Exit code 0 means
+every checked link resolves; 1 means at least one is broken (each is
+reported as ``file:line: target -- reason``); 2 is a usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Problem",
+    "check_file",
+    "collect_markdown",
+    "extract_links",
+    "heading_slugs",
+    "main",
+    "slugify",
+]
+
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# Inline links/images: [text](target) / ![alt](target "title").  The
+# target stops at whitespace or the closing paren, which rejects the
+# rare nested-paren URL but never a repository-relative path.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?[^)]*\)")
+# Reference-style definitions: [label]: target
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+# Markdown emphasis/links inside heading text, removed before slugging.
+_HEADING_MARKUP = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+_SLUG_DROP = re.compile(r"[^\w\- ]", flags=re.UNICODE)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One broken link: where it is, what it points at, what's wrong."""
+
+    file: str
+    line: int
+    target: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: {self.target} -- {self.reason}"
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading's text.
+
+    Link markup is reduced to its text, inline code markers dropped,
+    then: lowercase, strip everything but word characters / hyphens /
+    spaces, and turn spaces into hyphens.
+    """
+    text = _HEADING_MARKUP.sub(r"\1", heading)
+    text = text.replace("`", "").replace("*", "")
+    text = _SLUG_DROP.sub("", text.lower())
+    return text.strip().replace(" ", "-")
+
+
+def _masked_lines(text: str) -> List[str]:
+    """The file's lines with fenced blocks and inline code blanked.
+
+    Line numbering is preserved (blanked lines stay present) so link
+    positions keep pointing at the real source line.
+    """
+    masked: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            masked.append("")
+            continue
+        if in_fence:
+            masked.append("")
+            continue
+        masked.append(_INLINE_CODE.sub("", line))
+    return masked
+
+
+def heading_slugs(text: str) -> Set[str]:
+    """Every anchor slug defined by ``text``'s markdown headings.
+
+    Duplicate headings get GitHub's ``-1``, ``-2`` suffixes, so both
+    the bare slug and the suffixed variants are valid anchors.
+    """
+    slugs: Set[str] = set()
+    seen: Dict[str, int] = {}
+    for line in _masked_lines(text):
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def extract_links(text: str) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` for every link outside code regions."""
+    links: List[Tuple[int, str]] = []
+    for number, line in enumerate(_masked_lines(text), start=1):
+        for match in _INLINE_LINK.finditer(line):
+            links.append((number, match.group(1)))
+        reference = _REFERENCE_DEF.match(line)
+        if reference is not None:
+            links.append((number, reference.group(1)))
+    return links
+
+
+def _split_fragment(target: str) -> Tuple[str, Optional[str]]:
+    if "#" in target:
+        path, fragment = target.split("#", 1)
+        return path, fragment
+    return target, None
+
+
+def _slugs_of(path: str, cache: Dict[str, Set[str]]) -> Set[str]:
+    resolved = os.path.realpath(path)
+    if resolved not in cache:
+        with open(resolved, "r", encoding="utf-8") as handle:
+            cache[resolved] = heading_slugs(handle.read())
+    return cache[resolved]
+
+
+def check_file(
+    path: str, slug_cache: Optional[Dict[str, Set[str]]] = None
+) -> List[Problem]:
+    """Validate every relative link and anchor in one markdown file."""
+    if slug_cache is None:
+        slug_cache = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    base = os.path.dirname(os.path.abspath(path))
+    problems: List[Problem] = []
+    for line, target in extract_links(text):
+        lowered = target.lower()
+        if lowered.startswith(_EXTERNAL_SCHEMES):
+            continue
+        rel_path, fragment = _split_fragment(target)
+        if not rel_path:
+            # Pure in-page anchor: #section
+            if fragment and fragment.lower() not in _slugs_of(
+                path, slug_cache
+            ):
+                problems.append(
+                    Problem(path, line, target, "no such heading anchor")
+                )
+            continue
+        resolved = os.path.normpath(os.path.join(base, rel_path))
+        if not os.path.exists(resolved):
+            problems.append(
+                Problem(path, line, target, "file does not exist")
+            )
+            continue
+        if fragment:
+            if not resolved.endswith(".md"):
+                problems.append(
+                    Problem(
+                        path, line, target,
+                        "anchor on a non-markdown target",
+                    )
+                )
+            elif fragment.lower() not in _slugs_of(resolved, slug_cache):
+                problems.append(
+                    Problem(path, line, target, "no such heading anchor")
+                )
+    return problems
+
+
+def collect_markdown(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into the markdown files to check.
+
+    Directories are walked recursively for ``*.md``; explicit file
+    arguments are taken as-is (so a missing one is a loud error rather
+    than a silent skip).
+    """
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in sorted(os.walk(path)):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.linkcheck",
+        description=(
+            "Check relative markdown links and heading anchors offline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="markdown files or directories to walk for *.md",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-file summary; print only problems",
+    )
+    options = parser.parse_args(argv)
+
+    slug_cache: Dict[str, Set[str]] = {}
+    problems: List[Problem] = []
+    checked = 0
+    for path in collect_markdown(options.paths):
+        if not os.path.exists(path):
+            problems.append(Problem(path, 0, path, "file does not exist"))
+            continue
+        checked += 1
+        problems.extend(check_file(path, slug_cache))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not options.quiet:
+        print(
+            f"linkcheck: {checked} file(s) checked, "
+            f"{len(problems)} broken link(s)"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

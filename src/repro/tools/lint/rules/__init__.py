@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..engine import Rule
+from .docstrings import DocstringPublicRule
 from .general import (
     AssertRuntimeRule,
     BareExceptRule,
@@ -23,6 +24,7 @@ __all__ = [
     "ALL_RULES",
     "AssertRuntimeRule",
     "BareExceptRule",
+    "DocstringPublicRule",
     "FloatEqualityRule",
     "LockDisciplineRule",
     "MutableDefaultRule",
@@ -36,6 +38,7 @@ ALL_RULES = (
     RngDeterminismRule,
     LockDisciplineRule,
     TelemetryCoverageRule,
+    DocstringPublicRule,
     MutableDefaultRule,
     BareExceptRule,
     FloatEqualityRule,

@@ -1,0 +1,150 @@
+"""Markdown link checker: slugs, anchors, relative paths, CLI."""
+
+import textwrap
+
+from repro.tools.linkcheck import (
+    check_file,
+    collect_markdown,
+    extract_links,
+    heading_slugs,
+    main,
+    slugify,
+)
+
+
+def write(path, content):
+    path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return str(path)
+
+
+class TestSlugify:
+    def test_github_rules(self):
+        assert slugify("Resilience & operations") == "resilience--operations"
+        assert slugify("Queue saturation") == "queue-saturation"
+        assert slugify("`repro serve` CLI") == "repro-serve-cli"
+        assert slugify("4e. GEMINI mapping") == "4e-gemini-mapping"
+        assert slugify("snake_case stays") == "snake_case-stays"
+
+    def test_link_markup_reduced_to_text(self):
+        assert slugify("See [the runbook](docs/RUNBOOK.md)") == (
+            "see-the-runbook"
+        )
+
+    def test_duplicate_headings_get_suffixes(self):
+        slugs = heading_slugs("# Setup\n\n## Setup\n\n### Setup\n")
+        assert slugs == {"setup", "setup-1", "setup-2"}
+
+
+class TestExtraction:
+    def test_inline_reference_and_image_links(self):
+        text = textwrap.dedent(
+            """
+            See [docs](docs/RUNBOOK.md) and ![plot](img/p99.png).
+
+            [design]: DESIGN.md
+            """
+        )
+        targets = [target for _line, target in extract_links(text)]
+        assert targets == ["docs/RUNBOOK.md", "img/p99.png", "DESIGN.md"]
+
+    def test_code_regions_are_ignored(self):
+        text = textwrap.dedent(
+            """
+            Real: [a](a.md). Inline code: `[b](b.md)`.
+
+            ```
+            [c](c.md)
+            ```
+            """
+        )
+        targets = [target for _line, target in extract_links(text)]
+        assert targets == ["a.md"]
+
+    def test_line_numbers_point_at_source_lines(self):
+        text = "first\n\n[late](x.md)\n"
+        assert extract_links(text) == [(3, "x.md")]
+
+
+class TestCheckFile:
+    def test_clean_file_has_no_problems(self, tmp_path):
+        write(tmp_path / "other.md", "# Target Section\n")
+        page = write(
+            tmp_path / "page.md",
+            """
+            # Page
+
+            [ok](other.md), [anchored](other.md#target-section),
+            [self](#page), [external](https://example.com/404).
+            """,
+        )
+        assert check_file(page) == []
+
+    def test_missing_file_and_missing_anchor_reported(self, tmp_path):
+        write(tmp_path / "other.md", "# Target Section\n")
+        page = write(
+            tmp_path / "page.md",
+            """
+            [gone](missing.md)
+            [bad anchor](other.md#nope)
+            [bad self](#nowhere)
+            """,
+        )
+        problems = check_file(page)
+        reasons = {p.target: p.reason for p in problems}
+        assert reasons == {
+            "missing.md": "file does not exist",
+            "other.md#nope": "no such heading anchor",
+            "#nowhere": "no such heading anchor",
+        }
+        assert all(p.file == page for p in problems)
+        assert all(p.line > 0 for p in problems)
+
+    def test_links_resolve_relative_to_containing_file(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        write(tmp_path / "README.md", "# Root\n")
+        nested = write(
+            docs / "RUNBOOK.md",
+            "# Runbook\n\n[up](../README.md#root)\n[peer](ARCH.md)\n",
+        )
+        write(docs / "ARCH.md", "# Arch\n")
+        assert check_file(nested) == []
+
+    def test_directory_links_allowed(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        page = write(tmp_path / "page.md", "[docs](docs/)\n")
+        assert check_file(page) == []
+
+    def test_anchor_on_non_markdown_target_flagged(self, tmp_path):
+        write(tmp_path / "data.json", "{}")
+        page = write(tmp_path / "page.md", "[bad](data.json#section)\n")
+        problems = check_file(page)
+        assert len(problems) == 1
+        assert problems[0].reason == "anchor on a non-markdown target"
+
+
+class TestCli:
+    def test_directory_walk_finds_nested_markdown(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        write(docs / "a.md", "[broken](nope.md)\n")
+        write(docs / "b.md", "# Fine\n")
+        files = list(collect_markdown([str(tmp_path)]))
+        assert files == [str(docs / "a.md"), str(docs / "b.md")]
+
+    def test_exit_codes(self, tmp_path, capsys):
+        good = write(tmp_path / "good.md", "# Fine\n[self](#fine)\n")
+        bad = write(tmp_path / "bad.md", "[broken](nope.md)\n")
+        assert main([good]) == 0
+        assert main([good, bad]) == 1
+        err = capsys.readouterr().err
+        assert "nope.md" in err
+        assert "file does not exist" in err
+
+    def test_missing_argument_file_is_an_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.md")]) == 1
+
+    def test_repository_docs_are_clean(self):
+        # The real invariant CI enforces, kept here so a broken docs
+        # link fails the local suite too.
+        assert main(["README.md", "DESIGN.md", "docs", "--quiet"]) == 0

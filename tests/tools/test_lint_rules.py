@@ -12,6 +12,7 @@ from repro.tools.lint import lint_source
 from repro.tools.lint.rules import (
     AssertRuntimeRule,
     BareExceptRule,
+    DocstringPublicRule,
     FloatEqualityRule,
     LockDisciplineRule,
     MutableDefaultRule,
@@ -397,10 +398,93 @@ class TestAssertRuntime:
 # ----------------------------------------------------------------------
 # Cross-rule sanity
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# DOCSTRING-PUBLIC
+# ----------------------------------------------------------------------
+class TestDocstringPublic:
+    SERVE = "repro.serve.fake"
+    TELEMETRY = "repro.telemetry.fake"
+
+    BAD = """
+        class Server:
+            def handle(self):
+                return 1
+
+        def probe():
+            return 2
+    """
+    GOOD = '''
+        class Server:
+            """Documented."""
+
+            def handle(self):
+                """Documented."""
+                return 1
+
+        def probe():
+            """Documented."""
+            return 2
+    '''
+
+    def test_bad_flags_class_method_and_function(self):
+        found = findings_for(DocstringPublicRule, self.BAD, module=self.SERVE)
+        assert len(found) == 3
+        messages = " ".join(f.message for f in found)
+        assert "class `Server`" in messages
+        assert "method `Server.handle`" in messages
+        assert "function `probe`" in messages
+
+    def test_good_is_clean(self):
+        assert findings_for(
+            DocstringPublicRule, self.GOOD, module=self.SERVE
+        ) == []
+
+    def test_telemetry_package_is_scoped_too(self):
+        found = findings_for(
+            DocstringPublicRule, self.BAD, module=self.TELEMETRY
+        )
+        assert len(found) == 3
+
+    def test_other_packages_exempt(self):
+        assert findings_for(
+            DocstringPublicRule, self.BAD, module="repro.optim.fake"
+        ) == []
+
+    def test_private_dunder_nested_and_setters_exempt(self):
+        source = '''
+            class Server:
+                """Documented."""
+
+                def __init__(self):
+                    self._x = 0
+
+                def _helper(self):
+                    return 0
+
+                @property
+                def depth(self):
+                    """Documented getter."""
+                    return self._x
+
+                @depth.setter
+                def depth(self, value):
+                    self._x = value
+
+                def outer(self):
+                    """Documented."""
+                    def inner():
+                        return 3
+                    return inner
+        '''
+        assert findings_for(
+            DocstringPublicRule, source, module=self.SERVE
+        ) == []
+
+
 def test_every_rule_has_distinct_name():
     names = [rule.name for rule in default_rules()]
     assert len(names) == len(set(names))
-    assert len(names) >= 7
+    assert len(names) >= 8
 
 
 def test_one_snippet_can_trip_many_rules():
