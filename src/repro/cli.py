@@ -20,6 +20,20 @@ predict traffic against it and verifies the serving metrics — the CI
 smoke test for the serving layer.  ``predict`` scores rows from a
 ``.npy``/``.npz`` file with the registry's active model version.
 
+Observability surfaces (see ``docs/RUNBOOK.md``):
+
+    python -m repro serve --requests 200 --metrics-port 0 \\
+        --trace-out spans.jsonl --chaos
+    python -m repro metrics --from-json BENCH_serve.json
+    python -m repro trace summarize --span-log spans.jsonl
+
+``--metrics-port`` exposes the server's metrics registry in Prometheus
+text format on a stdlib HTTP thread (port 0 picks an ephemeral port;
+the smoke scrapes itself once and validates the exposition).
+``--trace-out`` writes a JSONL span log of every request's trace;
+``repro trace summarize`` aggregates such a log into a per-operation
+self/total-time table and renders one trace's critical path.
+
 ``--fast`` shrinks every experiment to roughly example scale.
 ``--telemetry-out run.jsonl`` writes a structured JSONL event log of
 every training run the command performs (per-epoch losses, per-phase
@@ -63,7 +77,21 @@ from .experiments import (
     timing_bench_config,
     train_deep,
 )
-from .telemetry import JsonlRunLogger, MetricsSummary, use_callbacks
+from .telemetry import (
+    JsonlRunLogger,
+    JsonlSpanExporter,
+    MetricsServer,
+    MetricsSummary,
+    Tracer,
+    format_summary_table,
+    format_trace_tree,
+    load_spans,
+    longest_trace,
+    render_exposition,
+    summarize_spans,
+    use_callbacks,
+    validate_exposition,
+)
 
 __all__ = ["main"]
 
@@ -220,6 +248,14 @@ def _cmd_serve(args) -> None:
     print(f"published {args.name}:{version} "
           f"({registry.metadata(args.name, version)['n_parameters']} params)")
 
+    tracer = None
+    exporter = None
+    if args.trace_out:
+        exporter = JsonlSpanExporter(path=args.trace_out)
+        tracer = Tracer(exporter=exporter, sample_rate=args.trace_sample)
+        print(f"tracing to {args.trace_out} "
+              f"(sample_rate={args.trace_sample})")
+
     injector = None
     resilience = None
     if args.chaos:
@@ -254,13 +290,45 @@ def _cmd_serve(args) -> None:
         workers=args.serve_workers,
         resilience=resilience,
         fault_injector=injector,
+        tracer=tracer,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            server.metrics, port=args.metrics_port,
+            extra={"/health": lambda: repr(server.health())},
+        )
+        print(f"metrics exposed at {metrics_server.url}")
     with server, ThreadPoolExecutor(max_workers=16) as pool:
         got = np.array(list(pool.map(server.predict, rows)))
         health = server.health()
     stats = server.stats()
 
+    # Self-scrape once: the exposition endpoint is part of the smoke's
+    # contract, so an invalid scrape fails the run like a wrong answer.
+    scrape_problems: List[str] = []
+    if metrics_server is not None:
+        import urllib.request
+
+        with urllib.request.urlopen(metrics_server.url, timeout=5) as response:
+            body = response.read().decode("utf-8")
+        scrape_problems = validate_exposition(body)
+        print(f"scraped {metrics_server.url}: "
+              f"{len(body.splitlines())} lines, "
+              f"{len(scrape_problems)} problems")
+        metrics_server.close()
+    if tracer is not None:
+        tracer_stats = tracer.stats()
+        print(f"traces: started={tracer_stats['started']} "
+              f"sampled={tracer_stats['sampled']} "
+              f"finished={tracer_stats['finished']}")
+    if exporter is not None:
+        exporter.close()
+
     failures = []
+    failures.extend(
+        f"exposition invalid: {problem}" for problem in scrape_problems
+    )
     if not np.array_equal(got, expected):
         failures.append("served predictions differ from direct predictions")
     if stats["requests"] != n_requests:
@@ -330,9 +398,84 @@ def _cmd_predict(args) -> None:
         print(f"{value:.6f}" if args.proba else int(value))
 
 
+# ----------------------------------------------------------------------
+# Observability subcommands (repro.telemetry)
+# ----------------------------------------------------------------------
+def _cmd_metrics(args) -> None:
+    """Render a persisted metrics snapshot in Prometheus text format.
+
+    Accepts either a raw :meth:`MetricsRegistry.snapshot` dict or any
+    JSON document with a ``"metrics"`` key holding one (the shape the
+    serve benchmarks and ``ModelServer.stats()`` persist).
+    """
+    import json
+
+    if not args.from_json:
+        print("metrics requires --from-json SNAPSHOT.json", file=sys.stderr)
+        raise SystemExit(2)
+    with open(args.from_json, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    snapshot = payload
+    if isinstance(payload, dict) and "counters" not in payload:
+        snapshot = payload.get("metrics", payload)
+    families = ("counters", "gauges", "histograms", "timers")
+    if not (
+        isinstance(snapshot, dict)
+        and any(key in snapshot for key in families)
+    ):
+        print(
+            f"{args.from_json}: no metrics snapshot found (expected a "
+            'MetricsRegistry.snapshot() dict or a document with a '
+            '"metrics" key holding one)',
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    text = render_exposition(snapshot)
+    sys.stdout.write(text)
+    problems = validate_exposition(text)
+    if problems:
+        for problem in problems:
+            print(f"exposition problem: {problem}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def _cmd_trace(args) -> None:
+    """``trace summarize``: aggregate a JSONL span log.
+
+    Prints the per-operation self/total-time table across every trace
+    in the log, then renders one trace's tree with its critical path
+    starred — ``--trace-id`` picks the trace, defaulting to the one
+    with the longest root span.
+    """
+    if args.subaction != "summarize":
+        print(f"unknown trace subcommand {args.subaction!r} "
+              "(expected: summarize)", file=sys.stderr)
+        raise SystemExit(2)
+    if not args.span_log:
+        print("trace summarize requires --span-log spans.jsonl",
+              file=sys.stderr)
+        raise SystemExit(2)
+    spans = load_spans(args.span_log)
+    if not spans:
+        print(f"no spans in {args.span_log}", file=sys.stderr)
+        raise SystemExit(1)
+    print(format_summary_table(summarize_spans(spans)))
+    trace_id = args.trace_id or longest_trace(spans)
+    if trace_id is not None:
+        print()
+        print(format_trace_tree(spans, trace_id))
+
+
 _SERVE_COMMANDS = {
     "serve": _cmd_serve,
     "predict": _cmd_predict,
+}
+
+# Run outside the experiment banner loop: their stdout (exposition
+# text, summary tables) must stay machine-readable / pipeable.
+_TOOL_COMMANDS = {
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
 }
 
 _COMMANDS = {
@@ -357,9 +500,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"] + sorted(_SERVE_COMMANDS),
+        choices=(sorted(_COMMANDS) + ["all"] + sorted(_SERVE_COMMANDS)
+                 + sorted(_TOOL_COMMANDS)),
         help="which table/figure to reproduce ('all' runs every "
-             "experiment; 'serve'/'predict' drive the serving layer)",
+             "experiment; 'serve'/'predict' drive the serving layer; "
+             "'metrics'/'trace' are observability tools)",
+    )
+    parser.add_argument(
+        "subaction", nargs="?", default=None,
+        help="trace only: subcommand (summarize)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -422,11 +571,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--proba", action="store_true",
         help="predict only: print probabilities instead of labels",
     )
+    obs = parser.add_argument_group("observability (serve/metrics/trace)")
+    obs.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve only: expose Prometheus-format /metrics on this "
+             "port during the replay (0 picks an ephemeral port) and "
+             "self-scrape it once to validate the exposition",
+    )
+    obs.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="serve only: write a JSONL span log of the replayed "
+             "requests (readable by 'trace summarize')",
+    )
+    obs.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="serve only: head-sampling rate for root spans (default 1.0)",
+    )
+    obs.add_argument(
+        "--from-json", metavar="PATH", default=None,
+        help="metrics only: JSON file holding a metrics snapshot "
+             "(raw snapshot or any document with a 'metrics' key)",
+    )
+    obs.add_argument(
+        "--span-log", metavar="PATH", default=None,
+        help="trace only: JSONL span log to summarize",
+    )
+    obs.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="trace only: trace to render (default: longest root span)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment in _TOOL_COMMANDS:
+        _TOOL_COMMANDS[args.experiment](args)
+        return 0
     if args.datasets:
         unknown = [d for d in args.datasets
                    if d not in UCI_SPECS and d != "Hosp-FA"]

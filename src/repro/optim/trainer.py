@@ -54,6 +54,7 @@ from ..telemetry.events import (
 )
 from ..telemetry.metrics import MetricsRegistry, PhaseTimer
 from ..telemetry.runtime import default_callbacks
+from ..telemetry.trace import start_span
 from .schedules import ConstantLR, LRSchedule
 from .sgd import SGD
 
@@ -271,73 +272,98 @@ class Trainer:
         start = self.clock()
 
         cbs.on_train_start(ctx)
-        for epoch in range(epochs):
-            optimizer.set_lr(self.schedule.lr_at(epoch))
-            self.metrics.gauge("train/lr").set(optimizer.lr)
-            cbs.on_epoch_start(epoch, ctx)
-            epoch_start = self.clock()
-            order = rng.permutation(n) if self.shuffle else np.arange(n)
-            epoch_loss = 0.0
-            n_batches = 0
-            for lo in range(0, n, self.batch_size):
-                batch = order[lo : lo + self.batch_size]
-                xb, yb = x[batch], y[batch]
-                if augment is not None:
-                    xb = augment(xb, rng)
-                iteration = self._iteration
-                loss = self._train_step(
-                    params, optimizer, xb, yb, timers,
-                    cbs if emit_em else None, ctx, epoch,
-                )
-                epoch_loss += loss
-                batch_counter.inc()
-                if emit_batch:
-                    cbs.on_batch_end(
-                        BatchInfo(
-                            epoch=epoch,
-                            batch_index=n_batches,
-                            iteration=iteration,
-                            size=xb.shape[0],
-                            loss=loss,
-                        ),
-                        ctx,
+        # One ambient span per fit; each epoch gets a child span whose
+        # per-phase breakdown is recorded as synthetic children from the
+        # phase-timer deltas (no per-batch span allocation).  Without an
+        # ambient tracer these are all inert null spans.
+        with start_span(
+            "train/fit",
+            attributes={"epochs": epochs, "n_samples": n},
+        ):
+            for epoch in range(epochs):
+                with start_span(
+                    "train/epoch", attributes={"epoch": epoch}
+                ) as epoch_span:
+                    phase_base = {
+                        phase: timers[phase].total_seconds for phase in PHASES
+                    }
+                    optimizer.set_lr(self.schedule.lr_at(epoch))
+                    self.metrics.gauge("train/lr").set(optimizer.lr)
+                    cbs.on_epoch_start(epoch, ctx)
+                    epoch_start = self.clock()
+                    order = rng.permutation(n) if self.shuffle else np.arange(n)
+                    epoch_loss = 0.0
+                    n_batches = 0
+                    for lo in range(0, n, self.batch_size):
+                        batch = order[lo : lo + self.batch_size]
+                        xb, yb = x[batch], y[batch]
+                        if augment is not None:
+                            xb = augment(xb, rng)
+                        iteration = self._iteration
+                        loss = self._train_step(
+                            params, optimizer, xb, yb, timers,
+                            cbs if emit_em else None, ctx, epoch,
+                        )
+                        epoch_loss += loss
+                        batch_counter.inc()
+                        if emit_batch:
+                            cbs.on_batch_end(
+                                BatchInfo(
+                                    epoch=epoch,
+                                    batch_index=n_batches,
+                                    iteration=iteration,
+                                    size=xb.shape[0],
+                                    loss=loss,
+                                ),
+                                ctx,
+                            )
+                        n_batches += 1
+                    epoch_loss /= max(n_batches, 1)
+                    epoch_counter.inc()
+                    loss_hist.observe(epoch_loss)
+
+                    for param in params:
+                        if param.regularizer is not None:
+                            param.regularizer.epoch_end(epoch)
+                    self._record_em_totals(params)
+
+                    now = self.clock()
+                    val_acc = None
+                    if x_val is not None and y_val is not None:
+                        val_acc = float(
+                            np.mean(self.model.predict(x_val) == y_val)
+                        )
+                    record = EpochRecord(
+                        epoch=epoch,
+                        train_loss=epoch_loss,
+                        elapsed_seconds=now - epoch_start,
+                        cumulative_seconds=now - start,
+                        val_accuracy=val_acc,
                     )
-                n_batches += 1
-            epoch_loss /= max(n_batches, 1)
-            epoch_counter.inc()
-            loss_hist.observe(epoch_loss)
+                    history.records.append(record)
+                    epoch_span.set_attribute("loss", epoch_loss)
+                    for phase in PHASES:
+                        delta = (
+                            timers[phase].total_seconds - phase_base[phase]
+                        )
+                        if delta > 0.0:
+                            epoch_span.record_child(
+                                f"train/{phase}", delta
+                            )
+                    cbs.on_epoch_end(record, ctx)
 
-            for param in params:
-                if param.regularizer is not None:
-                    param.regularizer.epoch_end(epoch)
-            self._record_em_totals(params)
-
-            now = self.clock()
-            val_acc = None
-            if x_val is not None and y_val is not None:
-                val_acc = float(np.mean(self.model.predict(x_val) == y_val))
-            record = EpochRecord(
-                epoch=epoch,
-                train_loss=epoch_loss,
-                elapsed_seconds=now - epoch_start,
-                cumulative_seconds=now - start,
-                val_accuracy=val_acc,
-            )
-            history.records.append(record)
-            cbs.on_epoch_end(record, ctx)
-
-            if self.convergence_tol is not None and previous_loss is not None:
-                scale = max(abs(previous_loss), 1e-12)
-                if (previous_loss - epoch_loss) / scale < self.convergence_tol:
-                    stall += 1
-                else:
-                    stall = 0
-                if stall >= self.patience:
-                    history.converged_epoch = epoch
+                if self.convergence_tol is not None and previous_loss is not None:
+                    scale = max(abs(previous_loss), 1e-12)
+                    if (previous_loss - epoch_loss) / scale < self.convergence_tol:
+                        stall += 1
+                    else:
+                        stall = 0
+                    if stall >= self.patience:
+                        history.converged_epoch = epoch
+                        break
+                previous_loss = epoch_loss
+                if ctx.stop_requested:
                     break
-            previous_loss = epoch_loss
-            if ctx.stop_requested:
-                break
         cbs.on_train_end(history, ctx)
         return history
 

@@ -25,6 +25,7 @@ The batcher knows nothing about models, caches or metrics — the
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections import deque
@@ -59,12 +60,26 @@ class ServerClosed(RuntimeError):
 
 
 class ServeRequest:
-    """One in-flight single-row request."""
+    """One in-flight single-row request.
+
+    ``context`` optionally carries the submitter's
+    :class:`contextvars.Context` (captured at submit time when tracing
+    is active); the dispatching worker restores it so the submitter's
+    trace — and anything else riding on context variables — follows the
+    request across the thread boundary.  Untraced requests leave it
+    ``None`` and pay nothing.
+    """
 
     __slots__ = ("row", "method", "event", "result", "error", "state",
-                 "enqueued_at")
+                 "enqueued_at", "context")
 
-    def __init__(self, method: str, row: np.ndarray, enqueued_at: float) -> None:
+    def __init__(
+        self,
+        method: str,
+        row: np.ndarray,
+        enqueued_at: float,
+        context: Optional[contextvars.Context] = None,
+    ) -> None:
         self.method = method
         self.row = row
         self.event = threading.Event()
@@ -72,6 +87,7 @@ class ServeRequest:
         self.error: Optional[BaseException] = None
         self.state = _QUEUED
         self.enqueued_at = enqueued_at
+        self.context = context
 
     def done(self) -> bool:
         """Whether a result or error has been delivered to this request."""
@@ -239,9 +255,19 @@ class MicroBatcher:
             if not batch:
                 return
             try:
-                results = self._dispatch(
-                    batch[0].method, [request.row for request in batch]
-                )
+                # Restore the head request's submit-time context (when
+                # captured) so its trace parents the dispatch work done
+                # on this worker thread.  One batch = one model call =
+                # one context; the coalesced followers' results are
+                # fanned back regardless of whose context ran the call.
+                rows = [request.row for request in batch]
+                head = batch[0]
+                if head.context is not None:
+                    results = head.context.run(
+                        self._dispatch, head.method, rows
+                    )
+                else:
+                    results = self._dispatch(head.method, rows)
                 if len(results) != len(batch):
                     raise RuntimeError(
                         f"dispatch returned {len(results)} results for a "

@@ -32,6 +32,8 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry.trace import add_event
+
 __all__ = ["PredictionCache"]
 
 
@@ -121,6 +123,7 @@ class PredictionCache:
                     self.corruptions += 1
                     self.evictions += 1
                     self.misses += 1
+                    add_event("cache_corruption_detected")
                     return False, None
                 self._entries.move_to_end(key)
                 self.hits += 1

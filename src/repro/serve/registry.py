@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..nn.checkpoint import LoadReport, load_network_state_dict, network_state_dict
+from ..telemetry.trace import add_event
 
 if TYPE_CHECKING:  # import cycle: resilience imports nothing from here,
     # but keeping the hint lazy mirrors the optional wiring.
@@ -276,6 +277,10 @@ class ModelRegistry:
                 self._live[name] = ActiveModel(
                     name, version, copy.deepcopy(model), dict(meta)
                 )
+        add_event(
+            "model_published", model=name, version=version,
+            activated=activate,
+        )
         return version
 
     # ------------------------------------------------------------------
@@ -354,6 +359,7 @@ class ModelRegistry:
                 raise KeyError(f"unknown checkpoint {name}:{version}")
             self._write_manifest_locked(name, {**manifest, "active": version})
             self._live[name] = snapshot
+        add_event("model_activated", model=name, version=version)
         return snapshot
 
     def active_version(self, name: str) -> Optional[str]:

@@ -52,6 +52,7 @@ import numpy as np
 
 from .. import rng as repro_rng
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import add_event
 
 __all__ = [
     "BreakerOpen",
@@ -252,9 +253,14 @@ class FaultInjector:
         if prof.active:
             if prof.latency_rate > 0 and self._draw() < prof.latency_rate:
                 self._count(site, "latency")
+                add_event(
+                    "fault_injected", site=site, kind="latency",
+                    seconds=prof.latency_seconds,
+                )
                 self._sleep(prof.latency_seconds)
             if prof.error_rate > 0 and self._draw() < prof.error_rate:
                 self._count(site, "error")
+                add_event("fault_injected", site=site, kind="error")
                 raise InjectedFault(site)
         return fn(*args, **kwargs)
 
@@ -371,10 +377,21 @@ class RetryPolicy:
                 delay = self._jittered(attempt)
                 if deadline is not None and self._clock() + delay > deadline:
                     break
+                add_event(
+                    "retry",
+                    attempt=attempt + 1,
+                    error=type(exc).__name__,
+                    delay=delay,
+                )
                 if self.metrics is not None:
                     self.metrics.counter("resilience/retries_total").inc()
                 if delay > 0.0:
                     self._sleep(delay)
+        add_event(
+            "retry_exhausted",
+            attempts=self.max_attempts,
+            error=type(last).__name__ if last is not None else "unknown",
+        )
         if self.metrics is not None:
             self.metrics.counter("resilience/retry_exhausted_total").inc()
         if last is None:  # pragma: no cover - loop always runs once
@@ -465,6 +482,12 @@ class CircuitBreaker:
         # *_locked: every caller must hold self._lock.
         if new_state == self._state:
             return
+        add_event(
+            "breaker_transition",
+            breaker=self.name,
+            from_state=_STATE_NAMES[self._state],
+            to_state=_STATE_NAMES[new_state],
+        )
         self._state = new_state
         if new_state == BREAKER_OPEN:
             self._opened_at = self._clock()

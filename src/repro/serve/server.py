@@ -44,13 +44,17 @@ tests and the throughput benchmark assert.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import threading
 from types import TracebackType
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
+from ..telemetry import trace as tracing
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import Tracer, add_event
 from .batching import MicroBatcher, ServeRequest, ServerClosed
 from .cache import PredictionCache
 from .registry import ActiveModel, ModelRegistry
@@ -90,6 +94,15 @@ class ModelServer:
         Optional :class:`~repro.serve.resilience.FaultInjector` whose
         ``"model"`` / ``"registry"`` / ``"cache"`` sites wrap the
         corresponding calls (the ``--chaos`` harness).
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`.  When set (or
+        when an ambient tracer is installed via
+        :func:`~repro.telemetry.trace.use_tracer`) every request gets a
+        ``serve/request`` root span, dispatches get child spans on the
+        worker thread, and the resilience layer's retries / breaker
+        transitions / fallbacks land on the request span as events.
+        ``None`` with no ambient tracer keeps the request path
+        trace-free (cost: one context-variable read per request).
     """
 
     def __init__(
@@ -105,6 +118,7 @@ class ModelServer:
         metrics: Optional[MetricsRegistry] = None,
         resilience: Optional[ResiliencePolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
@@ -114,6 +128,7 @@ class ModelServer:
         self._registry = registry
         self._name = name
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
         if resilience is None and fault_injector is not None:
             resilience = ResiliencePolicy.default()
         self.resilience = resilience
@@ -185,41 +200,50 @@ class ModelServer:
         start = clock()
         if self._closed:
             raise ServerClosed()
-        row = self._normalize_row(row)
-        version, model = self._resolve()
-        if not callable(getattr(model, method, None)):
-            raise ValueError(
-                f"model {type(model).__name__} does not support {method!r}"
+        with self._start_span("serve/request", method=method) as span:
+            row = self._normalize_row(row)
+            version, model = self._resolve()
+            span.set_attribute("version", version)
+            if not callable(getattr(model, method, None)):
+                raise ValueError(
+                    f"model {type(model).__name__} does not support {method!r}"
+                )
+            self.metrics.counter("serve/requests_total").inc()
+
+            key = None
+            if self.cache.maxsize:
+                key = PredictionCache.make_key(method, version, row)
+                hit, value = self.cache.get(key)
+                if hit:
+                    span.event("cache_hit")
+                    self.metrics.counter("serve/cache_hits_total").inc()
+                    self._observe_latency(clock() - start)
+                    return value
+                span.event("cache_miss")
+                self.metrics.counter("serve/cache_misses_total").inc()
+
+            pending = ServeRequest(
+                method, row, enqueued_at=start,
+                context=self._capture_context(),
             )
-        self.metrics.counter("serve/requests_total").inc()
+            if not self._batcher.submit(pending):
+                # Bounded-queue backpressure: serve inline rather than grow.
+                span.event("shed", reason="queue_full")
+                self.metrics.counter("serve/shed_total").inc()
+                return self._predict_inline(method, row, model, key, start)
+            self._gauge_depth()
 
-        key = None
-        if self.cache.maxsize:
-            key = PredictionCache.make_key(method, version, row)
-            hit, value = self.cache.get(key)
-            if hit:
-                self.metrics.counter("serve/cache_hits_total").inc()
-                self._observe_latency(clock() - start)
-                return value
-            self.metrics.counter("serve/cache_misses_total").inc()
-
-        pending = ServeRequest(method, row, enqueued_at=start)
-        if not self._batcher.submit(pending):
-            # Bounded-queue backpressure: serve inline rather than grow.
-            self.metrics.counter("serve/shed_total").inc()
-            return self._predict_inline(method, row, model, key, start)
-        self._gauge_depth()
-
-        if pending.event.wait(timeout=deadline):
+            if pending.event.wait(timeout=deadline):
+                return self._finish(pending, start)
+            # Deadline expired while queued: cancel and degrade to the
+            # inline path so the caller still gets an answer.
+            if self._batcher.cancel(pending):
+                span.event("deadline_expired")
+                self.metrics.counter("serve/deadline_expired_total").inc()
+                return self._predict_inline(method, row, model, key, start)
+            # Already being dispatched; the result is moments away.
+            pending.event.wait()
             return self._finish(pending, start)
-        # Deadline expired while queued: cancel and degrade to the
-        # inline path so the caller still gets an answer.
-        if self._batcher.cancel(pending):
-            self.metrics.counter("serve/deadline_expired_total").inc()
-            return self._predict_inline(method, row, model, key, start)
-        # Already being dispatched; the result is moments away.
-        pending.event.wait()
-        return self._finish(pending, start)
 
     def predict_many(
         self, x: np.ndarray, method: str = "predict"
@@ -233,49 +257,89 @@ class ModelServer:
         if self._closed:
             raise ServerClosed()
         clock = self.metrics.clock
-        results: List[Any] = [None] * len(x)
-        to_submit: List[Tuple[int, ServeRequest]] = []
-        version, model = self._resolve()
-        caching = bool(self.cache.maxsize)
-        requests_total = self.metrics.counter("serve/requests_total")
-        for index, row in enumerate(x):
-            start = clock()
-            row = self._normalize_row(row)
-            requests_total.inc()
-            if caching:
-                key = PredictionCache.make_key(method, version, row)
-                hit, value = self.cache.get(key)
-                if hit:
-                    self.metrics.counter("serve/cache_hits_total").inc()
-                    self._observe_latency(clock() - start)
-                    results[index] = value
-                    continue
-                self.metrics.counter("serve/cache_misses_total").inc()
-            to_submit.append((index, ServeRequest(method, row, enqueued_at=start)))
-        # One bulk enqueue instead of a lock/notify round-trip per row;
-        # whatever exceeds the queue bound is shed to the inline path,
-        # same as a single over-capacity submit.
-        accepted = self._batcher.submit_many(
-            [request for _index, request in to_submit]
-        )
-        self._gauge_depth()
-        for index, request in to_submit[accepted:]:
-            self.metrics.counter("serve/shed_total").inc()
-            key = (
-                PredictionCache.make_key(method, version, request.row)
-                if caching else None
+        with self._start_span(
+            "serve/predict_many", method=method, rows=len(x)
+        ) as span:
+            results: List[Any] = [None] * len(x)
+            to_submit: List[Tuple[int, ServeRequest]] = []
+            version, model = self._resolve()
+            caching = bool(self.cache.maxsize)
+            requests_total = self.metrics.counter("serve/requests_total")
+            for index, row in enumerate(x):
+                start = clock()
+                row = self._normalize_row(row)
+                requests_total.inc()
+                if caching:
+                    key = PredictionCache.make_key(method, version, row)
+                    hit, value = self.cache.get(key)
+                    if hit:
+                        self.metrics.counter("serve/cache_hits_total").inc()
+                        self._observe_latency(clock() - start)
+                        results[index] = value
+                        continue
+                    self.metrics.counter("serve/cache_misses_total").inc()
+                # Per-request context copies: a shared Context object
+                # cannot be entered by two dispatching workers at once.
+                to_submit.append(
+                    (index,
+                     ServeRequest(method, row, enqueued_at=start,
+                                  context=self._capture_context()))
+                )
+            # One bulk enqueue instead of a lock/notify round-trip per row;
+            # whatever exceeds the queue bound is shed to the inline path,
+            # same as a single over-capacity submit.
+            accepted = self._batcher.submit_many(
+                [request for _index, request in to_submit]
             )
-            results[index] = self._predict_inline(
-                method, request.row, model, key, request.enqueued_at
-            )
-        for index, request in to_submit[:accepted]:
-            request.event.wait()
-            results[index] = self._finish(request, request.enqueued_at)
-        return results
+            self._gauge_depth()
+            if accepted < len(to_submit):
+                span.event(
+                    "shed", reason="queue_full",
+                    rows=len(to_submit) - accepted,
+                )
+            for index, request in to_submit[accepted:]:
+                self.metrics.counter("serve/shed_total").inc()
+                key = (
+                    PredictionCache.make_key(method, version, request.row)
+                    if caching else None
+                )
+                results[index] = self._predict_inline(
+                    method, request.row, model, key, request.enqueued_at
+                )
+            for index, request in to_submit[:accepted]:
+                request.event.wait()
+                results[index] = self._finish(request, request.enqueued_at)
+            return results
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _start_span(self, name: str, **attributes: Any) -> Any:
+        """Open a span on this server's tracer (or the ambient one).
+
+        Returns the inert null span when neither exists, so every call
+        site writes an unconditional ``with self._start_span(...)``.
+        """
+        return tracing.start_span(
+            name, attributes=attributes or None, tracer=self.tracer
+        )
+
+    def _capture_context(self) -> Optional[contextvars.Context]:
+        """Submit-time context snapshot for cross-thread propagation.
+
+        Only taken when the submitting request's span is **sampled** —
+        an unsampled trace records no payload anywhere in its subtree,
+        so copying a context that could only ever feed no-ops would put
+        a per-request allocation on the 90%-of-traffic path for
+        nothing.  This is what keeps tracing at the default 0.1 rate
+        inside its ≤5% QPS budget (``benchmarks/bench_trace_overhead``).
+        The untraced hot path costs one context-variable read.
+        """
+        active = tracing.current_span()
+        if active is not None and active.sampled:
+            return contextvars.copy_context()
+        return None
+
     @staticmethod
     def _normalize_row(row: np.ndarray) -> np.ndarray:
         row = np.asarray(row)
@@ -322,14 +386,24 @@ class ModelServer:
             stale = self._last_good
             if stale is None:
                 raise
+            add_event(
+                "stale_model_served",
+                reason="breaker_open",
+                version=stale.version,
+            )
             self.metrics.counter(
                 "resilience/stale_model_served_total"
             ).inc()
             return stale.version, stale.model
-        except Exception:
+        except Exception as exc:
             stale = self._last_good
             if stale is None:
                 raise
+            add_event(
+                "stale_model_served",
+                reason=type(exc).__name__,
+                version=stale.version,
+            )
             self.metrics.counter(
                 "resilience/stale_model_served_total"
             ).inc()
@@ -351,11 +425,27 @@ class ModelServer:
         return bound(batch)
 
     def _dispatch(self, method: str, rows: List[np.ndarray]) -> List[Any]:
-        """Score a coalesced batch with a single model call."""
-        version, model = self._resolve()
-        batch = np.stack(rows)
-        with self.metrics.timer("serve/dispatch_seconds"):
-            out = self._score(model, method, batch)
+        """Score a coalesced batch with a single model call.
+
+        Runs on a batcher worker thread; when the head request captured
+        its submit-time context the worker restored it around this
+        call, so the dispatch span parents to that request's span.
+        Without a restored span (untraced or unsampled submitter) the
+        dispatch is not traced — a parentless dispatch root would be an
+        orphan trace no summary could attach to a request.
+        """
+        traced = tracing.current_span() is not None
+        with (
+            self._start_span(
+                "serve/dispatch", method=method, batch_size=len(rows)
+            )
+            if traced
+            else contextlib.nullcontext()
+        ):
+            version, model = self._resolve()
+            batch = np.stack(rows)
+            with self.metrics.timer("serve/dispatch_seconds"):
+                out = self._score(model, method, batch)
         self.metrics.counter("serve/batches_total").inc()
         self.metrics.histogram("serve/batch_size").observe(len(rows))
         self._gauge_depth()
@@ -402,7 +492,8 @@ class ModelServer:
         start: float,
     ) -> Any:
         """Single-item sync path used for shedding and expired deadlines."""
-        result = self._score(model, method, row[np.newaxis, ...])[0]
+        with self._start_span("serve/inline_predict", method=method):
+            result = self._score(model, method, row[np.newaxis, ...])[0]
         if key is not None:
             self._cache_put(key, result)
         self._observe_latency(self.metrics.clock() - start)
@@ -424,6 +515,9 @@ class ModelServer:
                 and policy.rescue_batch_errors
                 and not isinstance(request.error, ServerClosed)
             ):
+                add_event(
+                    "row_rescue", error=type(request.error).__name__
+                )
                 self.metrics.counter("serve/rescued_total").inc()
                 version, model = self._resolve()
                 key = (

@@ -22,6 +22,16 @@ both first-class observables of the Algorithm 1/2 training loop:
 :mod:`repro.telemetry.runtime`
     Ambient default callbacks (``use_callbacks``) so drivers like the
     CLI can instrument trainers they never construct directly.
+:mod:`repro.telemetry.trace`
+    Request/training tracing: :class:`Tracer`, :class:`Span` and
+    :class:`TraceContext` propagated via :mod:`contextvars` across the
+    serve worker-thread boundary, with a crash-safe JSONL span log.
+:mod:`repro.telemetry.exposition`
+    Prometheus text exposition of a registry plus the stdlib
+    ``/metrics`` HTTP endpoint behind ``repro serve --metrics-port``.
+:mod:`repro.telemetry.summarize`
+    Span-log aggregation for ``repro trace summarize`` (per-operation
+    self/total time, p50/p99, critical path of one trace).
 
 Telemetry is passive: with no callbacks registered the trainer's
 numerical behaviour is unchanged, and with callbacks registered the
@@ -39,8 +49,32 @@ from .callbacks import (
 )
 from .events import BatchInfo, Callback, CallbackList, EMStepInfo, RunContext
 from .export import bench_filename, bench_payload, write_bench_json
+from .exposition import MetricsServer, render_exposition, validate_exposition
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, PhaseTimer
 from .runtime import default_callbacks, use_callbacks
+from .summarize import (
+    critical_path,
+    format_summary_table,
+    format_trace_tree,
+    longest_trace,
+    summarize_spans,
+)
+from .trace import (
+    DEFAULT_SAMPLE_RATE,
+    JsonlSpanExporter,
+    Span,
+    SpanRingBuffer,
+    TraceContext,
+    Tracer,
+    add_event,
+    current_span,
+    current_tracer,
+    load_spans,
+    spans_by_trace,
+    start_span,
+    tracing_active,
+    use_tracer,
+)
 
 __all__ = [
     # events
@@ -69,4 +103,29 @@ __all__ = [
     # runtime
     "default_callbacks",
     "use_callbacks",
+    # trace
+    "DEFAULT_SAMPLE_RATE",
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "SpanRingBuffer",
+    "JsonlSpanExporter",
+    "use_tracer",
+    "current_tracer",
+    "current_span",
+    "start_span",
+    "add_event",
+    "tracing_active",
+    "load_spans",
+    "spans_by_trace",
+    # exposition
+    "MetricsServer",
+    "render_exposition",
+    "validate_exposition",
+    # summarize
+    "summarize_spans",
+    "format_summary_table",
+    "critical_path",
+    "format_trace_tree",
+    "longest_trace",
 ]

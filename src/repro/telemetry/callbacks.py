@@ -74,6 +74,14 @@ class JsonlRunLogger(Callback):
     ``timestamp``, ``elapsed_seconds``, ``cumulative_seconds``,
     ``total_seconds``, ``phases`` and ``metrics`` (see
     ``tests/telemetry/test_determinism.py``).
+
+    The log is **crash-safe**: each record is serialized into one
+    ``\\n``-terminated string and handed to the stream in a single
+    write call, so a killed run leaves a parseable prefix of complete
+    lines, never a truncated JSON fragment.  ``flush_every`` sets the
+    durability/throughput trade: 1 (the default) flushes after every
+    record; N buffers complete lines and flushes every N records and on
+    :meth:`close`.
     """
 
     def __init__(
@@ -83,9 +91,12 @@ class JsonlRunLogger(Callback):
         wall_clock=time.time,
         log_em_steps: bool = True,
         log_batches: bool = False,
+        flush_every: int = 1,
     ):
         if (path is None) == (stream is None):
             raise ValueError("provide exactly one of path= or stream=")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self._own_stream = stream is None
         self._stream: Optional[IO[str]] = (
             open(path, "w", encoding="utf-8") if path is not None else stream
@@ -94,6 +105,8 @@ class JsonlRunLogger(Callback):
         self.wall_clock = wall_clock
         self.log_em_steps = bool(log_em_steps)
         self.log_batches = bool(log_batches)
+        self.flush_every = int(flush_every)
+        self._pending: List[str] = []
         self._run = -1
 
     # -- plumbing -----------------------------------------------------
@@ -102,11 +115,21 @@ class JsonlRunLogger(Callback):
             raise RuntimeError("JsonlRunLogger is closed")
         event = dict(event)
         event["timestamp"] = self.wall_clock()
-        self._stream.write(json.dumps(_jsonable(event), sort_keys=True) + "\n")
-        self._stream.flush()
+        line = json.dumps(_jsonable(event), sort_keys=True) + "\n"
+        self._pending.append(line)
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write out buffered records (each already a complete line)."""
+        if self._pending and self._stream is not None:
+            self._stream.write("".join(self._pending))
+            self._stream.flush()
+            self._pending.clear()
 
     def close(self) -> None:
         """Flush and close the stream (only if this logger opened it)."""
+        self.flush()
         if self._own_stream and self._stream is not None:
             self._stream.close()
         self._stream = None

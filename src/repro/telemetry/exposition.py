@@ -1,0 +1,391 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+Every counter, gauge, histogram and phase timer a process has been
+accumulating becomes scrapeable: :func:`render_exposition` produces the
+Prometheus text format (version 0.0.4) and :class:`MetricsServer`
+serves it from ``GET /metrics`` on a stdlib ``http.server`` thread —
+no third-party client library, matching this repository's
+dependency-free telemetry stance.
+
+Mapping rules (stable; the golden-file test pins them):
+
+- instrument paths become metric names by replacing non-identifier
+  characters with ``_`` and prefixing ``repro_``
+  (``serve/requests_total`` → ``repro_serve_requests_total``);
+- counters keep (or gain) the ``_total`` suffix; phase timers export a
+  ``_seconds_total`` counter plus a ``_calls_total`` counter;
+- histograms export as Prometheus *summaries*: ``{quantile="0.5"}`` /
+  ``{quantile="0.95"}`` sample lines plus ``_sum`` and ``_count``;
+- structured families are re-labelled instead of flattened:
+  ``resilience/faults/<site>/<kind>_total`` becomes
+  ``repro_resilience_faults_total{site="…",kind="…"}`` and
+  ``resilience/breaker/<name>/…`` becomes
+  ``repro_resilience_breaker_…{breaker="…"}``, with label values
+  escaped per the exposition spec (``\\``, ``"``, newline);
+- unset gauges (``None``) are omitted — absence, not zero.
+
+:func:`validate_exposition` is the consumer-side contract check used by
+both the golden test and the CI scrape smoke (``repro serve
+--metrics-port`` scrapes itself through real HTTP and validates).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsServer",
+    "render_exposition",
+    "validate_exposition",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$"
+)
+
+_FAULTS_RE = re.compile(r"^resilience/faults/([^/]+)/([^/]+)_total$")
+_BREAKER_RE = re.compile(r"^resilience/breaker/(.+)/([a-z_]+(?:_total)?)$")
+
+
+def metric_name(path: str) -> str:
+    """Sanitized Prometheus metric name for an instrument path."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", path)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format spec."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP line payload (backslash and newline only)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    """Canonical sample value formatting (integers stay integral)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Family:
+    """One metric family: TYPE/HELP header plus its sample lines."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def add(
+        self, value: float, labels: Optional[Dict[str, str]] = None,
+        suffix: str = "",
+    ) -> None:
+        self.samples.append((suffix, dict(labels or {}), float(value)))
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for suffix, labels, value in self.samples:
+            label_text = ""
+            if labels:
+                inner = ",".join(
+                    f'{key}="{escape_label_value(str(val))}"'
+                    for key, val in sorted(labels.items())
+                )
+                label_text = "{" + inner + "}"
+            lines.append(f"{self.name}{suffix}{label_text} {_fmt(value)}")
+        return lines
+
+
+def _counter_family(
+    families: Dict[str, _Family], path: str
+) -> Tuple[_Family, Dict[str, str]]:
+    """Family + labels for one counter path (re-labelling fault/breaker
+    families, flat otherwise)."""
+    fault = _FAULTS_RE.match(path)
+    if fault:
+        family = families.setdefault(
+            "repro_resilience_faults_total",
+            _Family(
+                "repro_resilience_faults_total",
+                "counter",
+                "injected chaos faults by site and kind",
+            ),
+        )
+        return family, {"site": fault.group(1), "kind": fault.group(2)}
+    breaker = _BREAKER_RE.match(path)
+    if breaker:
+        leaf = breaker.group(2)
+        name = f"repro_resilience_breaker_{leaf}"
+        if not name.endswith("_total"):
+            name += "_total"
+        family = families.setdefault(
+            name,
+            _Family(name, "counter", f"circuit breaker {leaf} by breaker"),
+        )
+        return family, {"breaker": breaker.group(1)}
+    name = metric_name(path)
+    if not name.endswith("_total"):
+        name += "_total"
+    family = families.setdefault(
+        name, _Family(name, "counter", f"counter {path}")
+    )
+    return family, {}
+
+
+def _gauge_family(
+    families: Dict[str, _Family], path: str
+) -> Tuple[_Family, Dict[str, str]]:
+    breaker = _BREAKER_RE.match(path)
+    if breaker and not breaker.group(2).endswith("_total"):
+        leaf = breaker.group(2)
+        name = f"repro_resilience_breaker_{leaf}"
+        family = families.setdefault(
+            name,
+            _Family(
+                name, "gauge",
+                f"circuit breaker {leaf} by breaker "
+                "(0 closed, 1 half-open, 2 open)",
+            ),
+        )
+        return family, {"breaker": breaker.group(1)}
+    name = metric_name(path)
+    family = families.setdefault(
+        name, _Family(name, "gauge", f"gauge {path}")
+    )
+    return family, {}
+
+
+SnapshotLike = Union[MetricsRegistry, Dict[str, Any]]
+
+
+def render_exposition(metrics: SnapshotLike) -> str:
+    """Prometheus text format for a registry (or a ``snapshot()`` dict).
+
+    Accepting the snapshot dict as well lets ``repro metrics`` render a
+    persisted ``BENCH_*.json`` file's metrics block offline.
+    """
+    if isinstance(metrics, MetricsRegistry):
+        snapshot = metrics.snapshot()
+    elif isinstance(metrics, dict):
+        snapshot = metrics
+    else:
+        raise TypeError(
+            f"metrics must be a MetricsRegistry or snapshot dict, "
+            f"got {type(metrics).__name__}"
+        )
+
+    families: Dict[str, _Family] = {}
+    for path, value in snapshot.get("counters", {}).items():
+        family, labels = _counter_family(families, path)
+        family.add(value, labels)
+    for path, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        family, labels = _gauge_family(families, path)
+        family.add(value, labels)
+    for path, summary in snapshot.get("histograms", {}).items():
+        name = metric_name(path)
+        family = families.setdefault(
+            name, _Family(name, "summary", f"histogram {path}")
+        )
+        if summary.get("count", 0):
+            family.add(summary["p50"], {"quantile": "0.5"})
+            family.add(summary["p95"], {"quantile": "0.95"})
+        family.add(summary.get("sum", 0.0), suffix="_sum")
+        family.add(summary.get("count", 0), suffix="_count")
+    for path, summary in snapshot.get("timers", {}).items():
+        base = metric_name(path)
+        seconds = families.setdefault(
+            f"{base}_seconds_total",
+            _Family(
+                f"{base}_seconds_total", "counter",
+                f"accumulated seconds in timer {path}",
+            ),
+        )
+        seconds.add(summary.get("total_seconds", 0.0))
+        calls = families.setdefault(
+            f"{base}_calls_total",
+            _Family(
+                f"{base}_calls_total", "counter",
+                f"completed spans of timer {path}",
+            ),
+        )
+        calls.add(summary.get("count", 0))
+
+    lines: List[str] = []
+    for name in sorted(families):
+        lines.extend(families[name].render())
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Contract-check exposition text; returns problems (empty = valid).
+
+    Checks the invariants scrapers rely on: every sample belongs to a
+    declared ``# TYPE`` family, counter samples end in ``_total``,
+    sample lines parse, no family is declared twice, and the document
+    ends with a newline.
+    """
+    problems: List[str] = []
+    if not text.endswith("\n"):
+        problems.append("document does not end with a newline")
+    types: Dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            problems.append(f"line {number}: blank line")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped",
+            ):
+                problems.append(f"line {number}: malformed TYPE: {line!r}")
+                continue
+            if parts[2] in types:
+                problems.append(
+                    f"line {number}: duplicate TYPE for {parts[2]}"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        try:
+            float(match.group(3))
+        except ValueError:
+            problems.append(
+                f"line {number}: non-numeric sample value: {line!r}"
+            )
+            continue
+        sample_name = match.group(1)
+        family = _family_of(sample_name, types)
+        if family is None:
+            problems.append(
+                f"line {number}: sample {sample_name!r} has no TYPE"
+            )
+            continue
+        if types[family] == "counter" and not sample_name.endswith("_total"):
+            problems.append(
+                f"line {number}: counter sample {sample_name!r} "
+                "lacks the _total suffix"
+            )
+    return problems
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+            return sample_name[: -len(suffix)]
+    return None
+
+
+class MetricsServer:
+    """Serve ``GET /metrics`` for one registry on a daemon thread.
+
+    Parameters
+    ----------
+    metrics:
+        The registry to expose; rendered fresh on every scrape.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (exposed as
+        ``self.port`` — the tests and the CLI's self-scrape use this).
+    extra:
+        Optional ``{path: callable -> str}`` table of additional
+        text/plain endpoints (the CLI wires ``/health`` to the model
+        server's probe).
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        extra: Optional[Dict[str, Callable[[], str]]] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.extra = dict(extra or {})
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = render_exposition(outer.metrics).encode()
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                provider = outer.extra.get(self.path.split("?", 1)[0])
+                if provider is not None:
+                    body = provider().encode()
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                self.send_response(404)
+                self.end_headers()
+
+            def log_message(self, format: str, *args: Any) -> None:
+                pass  # scrapes are high-frequency; stay quiet
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        """The scrape URL of this exporter."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the exporter thread (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MetricsServer(url={self.url!r})"

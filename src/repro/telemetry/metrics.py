@@ -174,12 +174,15 @@ class PhaseTimer:
     owning registry so fake clocks make timing tests deterministic.
 
     The stopwatch is **thread-safe**: each thread times its own span
-    (start stamps live in thread-local storage) and the accumulated
-    totals are updated under a lock, so concurrent sections — e.g. two
-    serve workers inside ``serve/dispatch_seconds`` at once — each
-    contribute their full duration.  Misuse stays loud: starting a
-    timer twice *on the same thread* (or stopping one that thread never
-    started) raises.
+    (start stamps are tracked per thread id under the shared lock) and
+    the accumulated totals are updated under the same lock, so
+    concurrent sections — e.g. two serve workers inside
+    ``serve/dispatch_seconds`` at once — each contribute their full
+    duration.  Misuse stays loud: starting a timer twice *on the same
+    thread* (or stopping one that thread never started) raises.  The
+    one sanctioned silent path is a :meth:`stop` that lands after a
+    :meth:`reset` discarded the span (see :meth:`reset`) — that span
+    belongs to the zeroed window and contributes 0.0.
     """
 
     def __init__(self, name: str, clock: Clock):
@@ -189,22 +192,39 @@ class PhaseTimer:
         self.total_seconds = 0.0
         self.count = 0
         self.last_seconds = 0.0
-        self._span = threading.local()
+        #: thread id -> start stamp of that thread's in-flight span.
+        self._open: Dict[int, float] = {}
+        #: thread ids whose in-flight span a reset() discarded; their
+        #: eventual stop() is absorbed instead of raising or polluting
+        #: the fresh accumulation window.
+        self._discarded: set[int] = set()
 
     def start(self) -> None:
         """Stamp this thread's span start (one running span per thread)."""
-        if getattr(self._span, "started", None) is not None:
-            raise RuntimeError(f"timer {self.name!r} is already running")
-        self._span.started = self._clock()
+        tid = threading.get_ident()
+        stamp = self._clock()
+        with self._lock:
+            if tid in self._open:
+                raise RuntimeError(f"timer {self.name!r} is already running")
+            self._discarded.discard(tid)
+            self._open[tid] = stamp
 
     def stop(self) -> float:
-        """Stop the stopwatch; returns and accumulates the elapsed span."""
-        started = getattr(self._span, "started", None)
-        if started is None:
-            raise RuntimeError(f"timer {self.name!r} was not started")
-        elapsed = self._clock() - started
-        self._span.started = None
+        """Stop the stopwatch; returns and accumulates the elapsed span.
+
+        Returns 0.0 without accumulating when this thread's span was
+        discarded by an intervening :meth:`reset`.
+        """
+        tid = threading.get_ident()
+        now = self._clock()
         with self._lock:
+            started = self._open.pop(tid, None)
+            if started is None:
+                if tid in self._discarded:
+                    self._discarded.discard(tid)
+                    return 0.0
+                raise RuntimeError(f"timer {self.name!r} was not started")
+            elapsed = now - started
             self.total_seconds += elapsed
             self.last_seconds = elapsed
             self.count += 1
@@ -228,12 +248,20 @@ class PhaseTimer:
         return self.total_seconds / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        """Zero the accumulated totals (this thread's open span too)."""
+        """Zero the totals and discard **every** thread's open span.
+
+        Threads mid-span when the reset lands get their start stamps
+        discarded — their later :meth:`stop` returns 0.0 instead of
+        leaking a pre-reset duration into the new window (previously
+        only the *calling* thread's open span was cleared, so a worker
+        straddling a reset silently polluted the next accumulation).
+        """
         with self._lock:
             self.total_seconds = 0.0
             self.count = 0
             self.last_seconds = 0.0
-        self._span.started = None
+            self._discarded.update(self._open)
+            self._open.clear()
 
     def summary(self) -> Dict[str, float]:
         """Snapshot dict: completed-span count, total and mean seconds."""

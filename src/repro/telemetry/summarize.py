@@ -1,0 +1,205 @@
+"""Span-log aggregation: per-operation timing tables and critical paths.
+
+``repro trace summarize`` feeds a JSONL span log (written by
+:class:`~repro.telemetry.trace.JsonlSpanExporter`) through this module
+to answer the two incident questions aggregates cannot:
+
+- **where does time go, structurally?** — per span *name*: how many
+  spans, total time, **self time** (own duration minus the children
+  nested inside it — the flamegraph decomposition) and p50/p99 of the
+  individual durations;
+- **what was the critical path of one request?** — the chain of
+  longest-duration children from a trace's root span down to a leaf,
+  rendered as an indented tree with each span's events (retry attempts,
+  breaker transitions, fallbacks) inline.
+
+Everything operates on plain span dicts, so the same functions serve
+the CLI, the tests, and ad-hoc notebook use on a pulled span log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .trace import spans_by_trace
+
+__all__ = [
+    "OpSummary",
+    "summarize_spans",
+    "format_summary_table",
+    "critical_path",
+    "format_trace_tree",
+    "longest_trace",
+]
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending sequence (empty -> 0.0)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class OpSummary:
+    """Aggregate timing of every span sharing one name."""
+
+    __slots__ = ("name", "count", "total", "self_total", "durations")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_total = 0.0
+        self.durations: List[float] = []
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Summary row: name, count, total/self seconds, p50/p99."""
+        ordered = sorted(self.durations)
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total,
+            "self_seconds": self.self_total,
+            "p50_seconds": _quantile(ordered, 0.50),
+            "p99_seconds": _quantile(ordered, 0.99),
+        }
+
+
+def _children_index(
+    spans: Sequence[Dict[str, Any]],
+) -> Dict[Optional[str], List[Dict[str, Any]]]:
+    """``parent span_id -> children`` within one trace."""
+    table: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        table.setdefault(span.get("parent_id"), []).append(span)
+    return table
+
+
+def summarize_spans(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-name aggregation across every trace in ``spans``.
+
+    Self time is ``duration - sum(direct children durations)``, clamped
+    at zero (synthetic phase spans may legitimately overlap their
+    siblings, and clock skew across threads can push a child past its
+    parent by microseconds).
+    """
+    ops: Dict[str, OpSummary] = {}
+    for trace_spans in spans_by_trace(list(spans)).values():
+        children = _children_index(trace_spans)
+        for span in trace_spans:
+            op = ops.setdefault(span["name"], OpSummary(span["name"]))
+            duration = float(span.get("duration") or 0.0)
+            child_total = sum(
+                float(child.get("duration") or 0.0)
+                for child in children.get(span["span_id"], ())
+            )
+            op.count += 1
+            op.total += duration
+            op.self_total += max(0.0, duration - child_total)
+            op.durations.append(duration)
+    summaries = [op.as_dict() for op in ops.values()]
+    summaries.sort(key=lambda row: (-row["self_seconds"], row["name"]))
+    return summaries
+
+
+def format_summary_table(summaries: Sequence[Dict[str, Any]]) -> str:
+    """Fixed-width table of :func:`summarize_spans` rows."""
+    header = (
+        f"{'span name':32s} {'count':>6s} {'total_s':>10s} "
+        f"{'self_s':>10s} {'p50_ms':>9s} {'p99_ms':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in summaries:
+        lines.append(
+            f"{row['name'][:32]:32s} {row['count']:6d} "
+            f"{row['total_seconds']:10.4f} {row['self_seconds']:10.4f} "
+            f"{row['p50_seconds'] * 1e3:9.3f} {row['p99_seconds'] * 1e3:9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def longest_trace(spans: Sequence[Dict[str, Any]]) -> Optional[str]:
+    """Trace id whose root span has the largest duration (ties: first)."""
+    best_id: Optional[str] = None
+    best_duration = -1.0
+    for trace_id, trace_spans in spans_by_trace(list(spans)).items():
+        for span in trace_spans:
+            if span.get("parent_id") is None:
+                duration = float(span.get("duration") or 0.0)
+                if duration > best_duration:
+                    best_duration = duration
+                    best_id = trace_id
+    return best_id
+
+
+def critical_path(
+    spans: Sequence[Dict[str, Any]], trace_id: str
+) -> List[Dict[str, Any]]:
+    """Root-to-leaf chain of longest-duration children for one trace."""
+    trace_spans = [s for s in spans if s["trace_id"] == trace_id]
+    children = _children_index(trace_spans)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    node = max(roots, key=lambda s: float(s.get("duration") or 0.0))
+    path = [node]
+    while True:
+        kids = children.get(node["span_id"], [])
+        if not kids:
+            return path
+        node = max(kids, key=lambda s: float(s.get("duration") or 0.0))
+        path.append(node)
+
+
+def _render_span_line(
+    span: Dict[str, Any], depth: int, on_path: bool
+) -> List[str]:
+    marker = "*" if on_path else " "
+    indent = "  " * depth
+    status = span.get("status", "ok")
+    flag = "" if status == "ok" else f"  [{status.upper()}]"
+    lines = [
+        f"{marker} {indent}{span['name']}  "
+        f"{float(span.get('duration') or 0.0) * 1e3:.3f}ms{flag}"
+    ]
+    for event in span.get("events", ()):
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("name", "at")
+        )
+        lines.append(
+            f"  {indent}  - {event['name']}" + (f" ({detail})" if detail else "")
+        )
+    return lines
+
+
+def format_trace_tree(
+    spans: Sequence[Dict[str, Any]], trace_id: str
+) -> str:
+    """Indented span tree of one trace, critical path starred.
+
+    Children render in start order; each span's events appear beneath
+    it, so a chaos request reads as a narrative: enqueue → dispatch →
+    retry → stale fallback → rescue.
+    """
+    trace_spans = [s for s in spans if s["trace_id"] == trace_id]
+    if not trace_spans:
+        return f"(no spans for trace {trace_id})"
+    children = _children_index(trace_spans)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: float(s.get("start") or 0.0))
+    path_ids = {span["span_id"] for span in critical_path(spans, trace_id)}
+    lines = [f"trace {trace_id} ({len(trace_spans)} spans; * = critical path)"]
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        lines.extend(
+            _render_span_line(span, depth, span["span_id"] in path_ids)
+        )
+        for child in children.get(span["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

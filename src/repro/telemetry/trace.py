@@ -1,0 +1,673 @@
+"""Request/training tracing: spans, context propagation, exporters.
+
+The serving stack can already say *how much* time went where
+(:class:`~repro.telemetry.metrics.MetricsRegistry` aggregates) but not
+*which* request traversed retry → breaker → stale-fallback → row-rescue.
+This module supplies the missing causal instrument:
+
+- :class:`TraceContext` — the ``(trace_id, span_id, sampled)`` triple
+  that ties spans together.  It rides on a :mod:`contextvars` variable,
+  so it follows the logical flow of control across function calls and —
+  via :func:`contextvars.copy_context` captured at submit time and
+  restored on the worker (see :mod:`repro.serve.batching`) — across
+  thread boundaries.
+- :class:`Span` — one timed operation with status, attributes and
+  structured events (a retry attempt, a breaker transition, a
+  stale-snapshot fallback each become one event on the request's span).
+- :class:`Tracer` — creates spans, makes the head-sampling decision at
+  the root, and fans finished spans out to exporters: an in-memory
+  :class:`SpanRingBuffer` (always on, bounded) and an optional
+  :class:`JsonlSpanExporter` (one JSON object per line, crash-safe).
+
+Determinism: trace/span ids come from a per-tracer counter plus a
+seed-derived prefix — two seeded runs produce identical ids for the
+same call order — and head sampling uses a deterministic rate
+accumulator rather than a random draw, so "1 request in 10" means
+exactly that and replays identically.  Both clocks (monotonic for
+durations, wall for timestamps) are injectable, like everywhere else in
+:mod:`repro.telemetry`.
+
+Enabling tracing is ambient (:func:`use_tracer`) or explicit (the
+``tracer=`` parameter on :class:`~repro.serve.server.ModelServer`);
+with no tracer installed every helper degrades to a no-op whose cost is
+one context-variable read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import threading
+from collections import deque
+from contextvars import ContextVar
+from time import perf_counter, time as wall_time
+from typing import IO, Any, Callable, Deque, Dict, Iterator, List, Optional
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE",
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "SpanRingBuffer",
+    "JsonlSpanExporter",
+    "use_tracer",
+    "current_tracer",
+    "current_span",
+    "start_span",
+    "add_event",
+    "tracing_active",
+]
+
+Clock = Callable[[], float]
+
+#: Head-sampling rate used when callers don't choose one: record one
+#: trace in ten.  The trace-overhead benchmark's ≤5% QPS budget is
+#: measured at exactly this rate.
+DEFAULT_SAMPLE_RATE = 0.1
+
+#: Span status values (OpenTelemetry-style, reduced to what we need).
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class TraceContext:
+    """Immutable identity of one span within one trace."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, sampled={self.sampled})"
+        )
+
+
+class Span:
+    """One timed operation; use as a context manager.
+
+    A span records its half-open ``[start, end)`` interval on the
+    tracer's monotonic clock, a wall-clock timestamp for log
+    cross-referencing, free-form ``attributes`` set at creation or via
+    :meth:`set_attribute`, and a list of structured :meth:`event`
+    entries.  Unsampled spans keep their identity (so children stay
+    unsampled) but drop all payload and are never exported.
+    """
+
+    __slots__ = (
+        "name",
+        "context",
+        "parent_id",
+        "start",
+        "wall_start",
+        "end",
+        "status",
+        "attributes",
+        "events",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        context: TraceContext,
+        parent_id: Optional[str],
+        start: float,
+        wall_start: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.wall_start = wall_start
+        self.end: Optional[float] = None
+        self.status = STATUS_OK
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.events: List[Dict[str, Any]] = []
+        self._tracer = tracer
+        self._token = None
+
+    # -- recording ----------------------------------------------------
+    @property
+    def sampled(self) -> bool:
+        """Whether this span records payload and will be exported."""
+        return self.context.sampled
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 until the span has ended)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one key/value attribute (no-op on unsampled spans)."""
+        if self.context.sampled:
+            self.attributes[key] = value
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Append one structured event at the current clock reading."""
+        if self.context.sampled:
+            self.events.append(
+                {"name": name, "at": self._tracer.clock(), **attributes}
+            )
+
+    def record_child(
+        self,
+        name: str,
+        duration: float,
+        start: Optional[float] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a synthetic, already-measured child span.
+
+        The trainer uses this for its per-epoch phase spans: the phase
+        durations are read out of the (already maintained) phase timers
+        once per epoch instead of allocating four spans per mini-batch.
+        """
+        if self.context.sampled:
+            self._tracer.record_span(
+                name,
+                duration,
+                parent=self.context,
+                start=start if start is not None else self.start,
+                attributes=attributes,
+            )
+
+    # -- lifecycle ----------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _ACTIVE_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc is not None and self.context.sampled:
+            self.status = STATUS_ERROR
+            self.attributes.setdefault("error", type(exc).__name__)
+        if self._token is not None:
+            _ACTIVE_SPAN.reset(self._token)
+            self._token = None
+        self._tracer.finish(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (one JSONL line of the span log)."""
+        return {
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "wall_start": self.wall_start,
+            "status": self.status,
+            "attributes": self.attributes,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.context.trace_id}, "
+            f"span={self.context.span_id}, sampled={self.context.sampled})"
+        )
+
+
+class _NullSpan:
+    """Inert stand-in returned when no tracer is installed.
+
+    Supports the whole :class:`Span` surface as no-ops, so call sites
+    never branch on "is tracing on?".
+    """
+
+    __slots__ = ()
+
+    context: Optional[TraceContext] = None
+    parent_id: Optional[str] = None
+    sampled = False
+    duration = 0.0
+    status = STATUS_OK
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def record_child(
+        self,
+        name: str,
+        duration: float,
+        start: Optional[float] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: The shared inert span; identity-comparable and allocation-free.
+NULL_SPAN = _NullSpan()
+
+#: Shared identity of every unsampled span.  Unsampled spans are never
+#: exported and their children only need to see ``sampled=False``, so
+#: they can all carry the same (empty-id) context instead of paying id
+#: allocation per request.
+_UNSAMPLED_CONTEXT = TraceContext("", "", False)
+
+# The active span follows contextvars semantics: nested ``with`` blocks
+# stack naturally, threads started via a copied Context (the batcher's
+# submit-side capture) see the submitter's span, and plain threads see
+# nothing.  Sampled and unsampled spans both live here so that an
+# unsampled root suppresses its whole subtree.
+_ACTIVE_SPAN: ContextVar[Optional[Span]] = ContextVar(
+    "repro_active_span", default=None
+)
+
+_AMBIENT_TRACER: ContextVar[Optional["Tracer"]] = ContextVar(
+    "repro_ambient_tracer", default=None
+)
+
+
+class SpanRingBuffer:
+    """Bounded in-memory store of the most recent finished spans.
+
+    Accepts finished spans either as plain dicts or as :class:`Span`
+    objects; the latter are serialized **lazily on read**.  Buffer
+    reads happen on a human timescale (a CLI dump, a test assertion),
+    while exports sit on the request's latency-critical path — right
+    before the dispatch worker wakes the waiting caller — so deferring
+    ``to_dict`` moves that serialization off every traced request.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._spans: Deque[Any] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self.exported = 0
+
+    @staticmethod
+    def _as_dict(span: Any) -> Dict[str, Any]:
+        return span if isinstance(span, dict) else span.to_dict()
+
+    def export(self, span: Any) -> None:
+        """Append one finished span (oldest entries fall off)."""
+        with self._lock:
+            self._spans.append(span)
+            self.exported += 1
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """Snapshot of buffered spans as dicts, oldest first."""
+        with self._lock:
+            return [self._as_dict(span) for span in self._spans]
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """All buffered spans of one trace, oldest first."""
+        with self._lock:
+            dicts = [self._as_dict(span) for span in self._spans]
+        return [span for span in dicts if span["trace_id"] == trace_id]
+
+    def clear(self) -> None:
+        """Drop every buffered span (``exported`` keeps counting)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class JsonlSpanExporter:
+    """Crash-safe JSONL span log: one complete JSON object per line.
+
+    Each span is serialized into a single string (terminated by ``\\n``)
+    and handed to the stream in **one write call**, buffered locally and
+    flushed every ``flush_every`` records and on :meth:`close` — the
+    same discipline as :class:`~repro.telemetry.callbacks.JsonlRunLogger`,
+    so a killed process leaves a parseable prefix, never a truncated
+    JSON fragment.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+        flush_every: int = 1,
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("provide exactly one of path= or stream=")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self._own_stream = stream is None
+        self._stream: Optional[IO[str]] = (
+            open(path, "w", encoding="utf-8") if path is not None else stream
+        )
+        self.path = path
+        self.flush_every = int(flush_every)
+        self._pending: List[str] = []
+        self._lock = threading.Lock()
+        self.exported = 0
+
+    def export(self, span: Dict[str, Any]) -> None:
+        """Serialize and enqueue one span; flush per the policy."""
+        line = json.dumps(span, sort_keys=True) + "\n"
+        with self._lock:
+            if self._stream is None:
+                raise RuntimeError("JsonlSpanExporter is closed")
+            self._pending.append(line)
+            self.exported += 1
+            if len(self._pending) >= self.flush_every:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._pending and self._stream is not None:
+            self._stream.write("".join(self._pending))
+            self._stream.flush()
+            self._pending.clear()
+
+    def flush(self) -> None:
+        """Force out any buffered records."""
+        with self._lock:
+            self._flush_locked()
+
+    def close(self) -> None:
+        """Flush and close (only closes streams this exporter opened)."""
+        with self._lock:
+            self._flush_locked()
+            if self._own_stream and self._stream is not None:
+                self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+
+class Tracer:
+    """Creates spans, decides sampling, fans finished spans to exporters.
+
+    Parameters
+    ----------
+    exporter:
+        Optional sink with an ``export(span_dict)`` method (usually a
+        :class:`JsonlSpanExporter`); the in-memory ring buffer is always
+        maintained in addition.
+    sample_rate:
+        Head-sampling rate in ``[0, 1]`` applied at **root** span
+        creation; children inherit the root's decision.  Sampling is a
+        deterministic rate accumulator — at 0.1 exactly every tenth
+        root is recorded — so traced runs replay bit-for-bit.
+    max_buffered:
+        Ring-buffer capacity for recent spans.
+    clock / wall_clock:
+        Monotonic duration clock and wall timestamp clock; injectable
+        for deterministic tests.
+    seed:
+        Folded into the trace-id prefix so concurrent tracers writing
+        one log remain distinguishable while staying replayable.
+    """
+
+    def __init__(
+        self,
+        exporter: Optional[Any] = None,
+        sample_rate: float = 1.0,
+        max_buffered: int = 2048,
+        clock: Clock = perf_counter,
+        wall_clock: Clock = wall_time,
+        seed: int = 2018,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        self.exporter = exporter
+        self.sample_rate = float(sample_rate)
+        self.buffer = SpanRingBuffer(max_buffered)
+        self.clock = clock
+        self.wall_clock = wall_clock
+        self._prefix = hashlib.sha1(
+            f"repro-trace-{seed}".encode()
+        ).hexdigest()[:6]
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._sample_acc = 0.0
+        self.started = 0
+        self.sampled = 0
+        self.finished = 0
+
+    # -- span creation ------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        parent: Optional[TraceContext] = None,
+    ) -> Span:
+        """Open a span under ``parent`` (default: the active span).
+
+        With no parent anywhere this starts a **new trace** and makes
+        the head-sampling decision for the whole tree.  Unsampled spans
+        are deliberately cheap: no id is allocated (serials advance
+        only for recorded spans, keeping sampled ids deterministic at
+        any rate), no clock is read, and the shared unsampled context
+        is reused — the unsampled path is what every request pays at
+        low sampling rates, so it sets the tracing overhead floor.
+        """
+        if parent is None:
+            active = _ACTIVE_SPAN.get()
+            if active is not None:
+                parent = active.context
+        if parent is None:
+            # Root: one lock hold decides sampling (deterministic rate
+            # accumulator — fire on carry) and allocates the serial.
+            with self._lock:
+                self.started += 1
+                self._sample_acc += self.sample_rate
+                sampled = self._sample_acc >= 1.0 - 1e-12
+                if sampled:
+                    self._sample_acc -= 1.0
+                    self.sampled += 1
+                    self._next_id += 1
+                    serial = self._next_id
+            if not sampled:
+                return Span(self, name, _UNSAMPLED_CONTEXT, None, 0.0, 0.0)
+            context = TraceContext(
+                f"{self._prefix}{serial:010x}", f"{serial:08x}", True
+            )
+            parent_id = None
+        else:
+            if not parent.sampled:
+                with self._lock:
+                    self.started += 1
+                return Span(self, name, _UNSAMPLED_CONTEXT, None, 0.0, 0.0)
+            with self._lock:
+                self.started += 1
+                self.sampled += 1
+                self._next_id += 1
+                serial = self._next_id
+            context = TraceContext(parent.trace_id, f"{serial:08x}", True)
+            parent_id = parent.span_id
+        return Span(
+            self,
+            name,
+            context,
+            parent_id,
+            start=self.clock(),
+            wall_start=self.wall_clock(),
+            attributes=attributes,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        parent: Optional[TraceContext] = None,
+        start: Optional[float] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Emit a synthetic span whose timing was measured elsewhere."""
+        if parent is None:
+            active = _ACTIVE_SPAN.get()
+            if active is not None:
+                parent = active.context
+        if parent is not None and not parent.sampled:
+            return
+        span = self.start_span(name, attributes=attributes, parent=parent)
+        if span.context.sampled:
+            span.start = start if start is not None else self.clock()
+            span.end = span.start + duration
+            self._export(span)
+            self.finished += 1
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (stamping ``end``) and export it if sampled."""
+        if span.context.sampled:
+            if span.end is None:
+                span.end = self.clock()
+            self._export(span)
+        self.finished += 1
+
+    def _export(self, span: Span) -> None:
+        # Without an external exporter the span object goes into the
+        # ring buffer as-is and is only dict-ified if someone reads it;
+        # an exporter needs the serialized form now, so share one dict.
+        if self.exporter is None:
+            self.buffer.export(span)
+        else:
+            payload = span.to_dict()
+            self.buffer.export(payload)
+            self.exporter.export(payload)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the tracer itself (started/sampled/finished)."""
+        return {
+            "started": self.started,
+            "sampled": self.sampled,
+            "finished": self.finished,
+            "buffered": len(self.buffer),
+            "sample_rate": self.sample_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(sample_rate={self.sample_rate}, "
+            f"started={self.started}, sampled={self.sampled})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient API (what instrumented code actually calls)
+# ----------------------------------------------------------------------
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer installed by :func:`use_tracer` (or ``None``)."""
+    return _AMBIENT_TRACER.get()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span on this logical flow (or ``None``)."""
+    return _ACTIVE_SPAN.get()
+
+
+def tracing_active() -> bool:
+    """Whether any span or tracer is live on this logical flow.
+
+    Hot paths use this to skip context captures that would only ever
+    feed a no-op.
+    """
+    return _ACTIVE_SPAN.get() is not None or _AMBIENT_TRACER.get() is not None
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer within the ``with`` body.
+
+    Context-local like :func:`~repro.telemetry.runtime.use_callbacks`,
+    so nested scopes and concurrent tasks compose and uninstalling is
+    exception-safe.
+    """
+    if not isinstance(tracer, Tracer):
+        raise TypeError(f"not a Tracer: {tracer!r}")
+    token = _AMBIENT_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _AMBIENT_TRACER.reset(token)
+
+
+def start_span(
+    name: str,
+    attributes: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Tracer] = None,
+) -> Any:
+    """Open a span on ``tracer`` (default: the ambient one).
+
+    Returns :data:`NULL_SPAN` when no tracer is available, so the call
+    site can unconditionally write ``with start_span(...) as span:``.
+    """
+    active = tracer if tracer is not None else _AMBIENT_TRACER.get()
+    if active is None:
+        return NULL_SPAN
+    return active.start_span(name, attributes=attributes)
+
+
+def add_event(name: str, **attributes: Any) -> None:
+    """Record an event on the active span (no-op without one).
+
+    This is the hook the resilience layer uses: a retry attempt, a
+    breaker transition or a stale-snapshot fallback deep inside the
+    policy machinery lands on whichever request span is active.
+    """
+    span = _ACTIVE_SPAN.get()
+    if span is not None:
+        span.event(name, **attributes)
+
+
+# ----------------------------------------------------------------------
+# Span-log loading (shared by the summarizer and tests)
+# ----------------------------------------------------------------------
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL span log, skipping blank lines.
+
+    Raises ``ValueError`` naming the offending line number on corrupt
+    records — which the crash-safe writer makes unreachable short of
+    external truncation.
+    """
+    spans: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{number}: corrupt span record: {exc}"
+                ) from exc
+    return spans
+
+
+def spans_by_trace(
+    spans: List[Dict[str, Any]],
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Group span dicts by ``trace_id`` (insertion-ordered)."""
+    table: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        table.setdefault(span["trace_id"], []).append(span)
+    return table

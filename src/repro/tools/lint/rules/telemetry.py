@@ -18,6 +18,17 @@ for the ``repro.serve`` and ``repro.optim`` packages:
   *injectable* clock, which is what lets the timing tests substitute a
   fake clock instead of sleeping.  (``time.monotonic`` is allowed —
   scheduling waits are not measurements.)
+
+A fourth rule covers tracing, for ``repro.serve`` only:
+
+- **no invisible entry points**: every public serving entry-point
+  method (``request``, ``predict``, ``predict_proba``,
+  ``decision_function``, ``predict_many``) must either open a span
+  (any call whose name ends in ``start_span`` — directly or via a
+  helper like ``self._start_span``) or visibly delegate to another
+  entry point on ``self`` that does.  Otherwise requests through that
+  method never appear in trace logs and ``repro trace summarize``
+  under-reports the serving path.
 """
 
 from __future__ import annotations
@@ -42,6 +53,32 @@ _INSTRUMENT_TYPES = frozenset(
 
 _RAW_CLOCKS = frozenset({"time.time", "time.perf_counter"})
 
+# Public serving entry points that must be visible to tracing.
+_SERVE_ENTRY_POINTS = frozenset(
+    {"request", "predict", "predict_proba", "decision_function",
+     "predict_many"}
+)
+
+
+def _opens_span_or_delegates(func: ast.FunctionDef) -> bool:
+    """True if ``func`` starts a span or calls a sibling entry point."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            continue
+        tail = dotted.rpartition(".")[2]
+        if tail.endswith("start_span"):
+            return True
+        if (
+            tail in _SERVE_ENTRY_POINTS
+            and tail != func.name
+            and dotted == f"self.{tail}"
+        ):
+            return True
+    return False
+
 
 class TelemetryCoverageRule(Rule):
     name = "TELEMETRY-COVERAGE"
@@ -53,6 +90,8 @@ class TelemetryCoverageRule(Rule):
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         if not ctx.in_package(*_SCOPED_PACKAGES):
             return
+        if ctx.in_package("repro.serve"):
+            yield from self._check_span_coverage(ctx)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Attribute):
                 if node.attr in _REGISTRY_INTERNALS:
@@ -89,3 +128,26 @@ class TelemetryCoverageRule(Rule):
                         "instruments from a MetricsRegistry accessor so "
                         "they appear in snapshot() and the BENCH exports",
                     )
+
+    def _check_span_coverage(self, ctx: LintContext) -> Iterator[Finding]:
+        """Public serving entry points must open (or delegate to) a span."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name not in _SERVE_ENTRY_POINTS:
+                    continue
+                if _opens_span_or_delegates(item):
+                    continue
+                yield self.finding(
+                    ctx,
+                    item,
+                    f"serving entry point `{node.name}.{item.name}` opens "
+                    "no span: call start_span (directly or via a helper) "
+                    "or delegate to an entry point that does, so requests "
+                    "stay visible to trace logs",
+                )

@@ -209,3 +209,52 @@ def test_shuffle_off_is_deterministic(rng):
         x, y, epochs=3, rng=np.random.default_rng(999)
     )
     assert np.allclose(m1.w, m2.w)
+
+
+def test_fit_emits_training_spans_under_ambient_tracer(rng):
+    from repro.telemetry.trace import Tracer, use_tracer
+
+    x, y = make_data(rng)
+    tracer = Tracer(sample_rate=1.0)
+    with use_tracer(tracer):
+        Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+            x, y, epochs=3, rng=rng
+        )
+    spans = tracer.buffer.spans()
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+
+    fit = by_name["train/fit"]
+    assert len(fit) == 1
+    assert fit[0]["parent_id"] is None
+    assert fit[0]["attributes"]["epochs"] == 3
+
+    epochs = by_name["train/epoch"]
+    assert len(epochs) == 3
+    assert [e["attributes"]["epoch"] for e in epochs] == [0, 1, 2]
+    for epoch in epochs:
+        assert epoch["trace_id"] == fit[0]["trace_id"]
+        assert epoch["parent_id"] == fit[0]["span_id"]
+        assert "loss" in epoch["attributes"]
+
+    # Per-phase synthetic children hang off their epoch span.
+    phase_spans = [s for s in spans if s["name"].startswith("train/phase") or
+                   s["name"] in ("train/estep", "train/grad",
+                                 "train/mstep", "train/sgd")]
+    assert phase_spans, "expected per-phase child spans"
+    epoch_ids = {e["span_id"] for e in epochs}
+    for span in phase_spans:
+        assert span["parent_id"] in epoch_ids
+        assert span["duration"] >= 0.0
+
+
+def test_fit_without_tracer_adds_no_spans(rng):
+    from repro.telemetry.trace import current_span, current_tracer
+
+    x, y = make_data(rng)
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=1, rng=rng
+    )
+    assert current_tracer() is None
+    assert current_span() is None

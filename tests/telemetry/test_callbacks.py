@@ -197,6 +197,63 @@ def test_jsonl_logger_writes_file_and_closes(tmp_path, rng):
         logger._emit({"event": "late"})
 
 
+def test_jsonl_logger_rejects_bad_flush_every():
+    with pytest.raises(ValueError):
+        JsonlRunLogger(stream=io.StringIO(), flush_every=0)
+
+
+def test_jsonl_logger_flush_every_buffers_until_threshold():
+    buf = io.StringIO()
+    logger = JsonlRunLogger(stream=buf, wall_clock=lambda: 0.0,
+                            flush_every=3)
+    logger._emit({"event": "a"})
+    logger._emit({"event": "b"})
+    assert buf.getvalue() == ""  # below threshold: nothing on the stream
+    logger._emit({"event": "c"})
+    assert len(buf.getvalue().splitlines()) == 3  # threshold drains all
+    logger._emit({"event": "d"})
+    logger.flush()  # explicit flush drains the partial buffer
+    assert len(buf.getvalue().splitlines()) == 4
+
+
+def test_jsonl_logger_close_flushes_pending(tmp_path, rng):
+    x, y = make_data(rng, n=32)
+    path = tmp_path / "run.jsonl"
+    logger = JsonlRunLogger(path=str(path), flush_every=1000)
+    Trainer(QuadraticModel(4), lr=0.1, batch_size=16).fit(
+        x, y, epochs=1, rng=rng, callbacks=[logger]
+    )
+    logger.close()  # run emitted fewer than flush_every events
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert events[0]["event"] == "train_start"
+    assert events[-1]["event"] == "train_end"
+
+
+def test_jsonl_logger_writes_are_atomic_single_lines():
+    """Crash safety: every stream write is whole ``\\n``-terminated lines."""
+
+    class RecordingStream(io.StringIO):
+        def __init__(self):
+            super().__init__()
+            self.writes = []
+
+        def write(self, text):
+            self.writes.append(text)
+            return super().write(text)
+
+    stream = RecordingStream()
+    logger = JsonlRunLogger(stream=stream, wall_clock=lambda: 0.0)
+    logger._emit({"event": "one", "note": "multi\nline\ntext"})
+    logger._emit({"event": "two"})
+    assert len(stream.writes) == 2
+    for chunk in stream.writes:
+        assert chunk.endswith("\n")
+        # One complete JSON document per write call, embedded newlines
+        # escaped by json.dumps — a kill between writes can only ever
+        # truncate at a line boundary.
+        json.loads(chunk)
+
+
 # ----------------------------------------------------------------------
 # GMStateRecorder
 # ----------------------------------------------------------------------

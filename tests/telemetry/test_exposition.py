@@ -1,0 +1,206 @@
+"""Tests for repro.telemetry.exposition: rendering, validation, server.
+
+The golden file pins the exposition format contract — metric naming,
+``_total``/``_seconds`` suffixes, summary quantiles, structured
+fault/breaker re-labelling and label-value escaping.  If rendering
+changes shape, regenerate deliberately with::
+
+    PYTHONPATH=src python -c "
+    from tests.telemetry.test_exposition import GOLDEN_SNAPSHOT, GOLDEN_PATH
+    from repro.telemetry.exposition import render_exposition
+    GOLDEN_PATH.write_text(render_exposition(GOLDEN_SNAPSHOT))"
+"""
+
+import pathlib
+import urllib.request
+
+import pytest
+
+from repro.telemetry.exposition import (
+    CONTENT_TYPE,
+    MetricsServer,
+    metric_name,
+    render_exposition,
+    validate_exposition,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "exposition_golden.txt"
+
+# A hand-built snapshot exercising every mapping rule at once.
+GOLDEN_SNAPSHOT = {
+    "counters": {
+        "serve/requests_total": 42.0,
+        "serve/cache_hits": 7.0,  # gains _total
+        "resilience/faults/registry/error_total": 3.0,
+        "resilience/faults/model/latency_total": 2.0,
+        "resilience/breaker/registry/opened_total": 1.0,
+        'resilience/breaker/we"ird\\v1/opened_total': 4.0,  # escaping
+    },
+    "gauges": {
+        "serve/queue_depth": 5.0,
+        "serve/latency_p99_ms": None,  # unset: omitted, not zero
+        "resilience/breaker/registry/state": 1.0,
+    },
+    "histograms": {
+        "serve/batch_size": {
+            "count": 10, "sum": 55.0, "mean": 5.5,
+            "min": 1.0, "max": 10.0, "p50": 5.0, "p95": 9.5,
+        },
+        "serve/unused": {"count": 0, "sum": 0.0},  # no quantile lines
+    },
+    "timers": {
+        "phase/estep": {
+            "count": 4, "total_seconds": 1.25, "mean_seconds": 0.3125,
+        },
+    },
+}
+
+
+def test_golden_exposition_format():
+    rendered = render_exposition(GOLDEN_SNAPSHOT)
+    assert rendered == GOLDEN_PATH.read_text()
+    assert validate_exposition(rendered) == []
+
+
+def test_metric_name_sanitization():
+    assert metric_name("serve/requests_total") == "repro_serve_requests_total"
+    assert metric_name("phase/estep") == "repro_phase_estep"
+    assert metric_name("weird name-1") == "repro_weird_name_1"
+    assert metric_name("9starts/digit") == "repro__9starts_digit"
+
+
+def test_counters_gain_total_suffix():
+    text = render_exposition({"counters": {"serve/hits": 1.0}})
+    assert "repro_serve_hits_total 1\n" in text
+    assert validate_exposition(text) == []
+
+
+def test_unset_gauges_are_omitted():
+    text = render_exposition({"gauges": {"a/set": 2.0, "a/unset": None}})
+    assert "repro_a_set 2" in text
+    assert "unset" not in text
+
+
+def test_fault_counters_are_relabelled():
+    text = render_exposition(GOLDEN_SNAPSHOT)
+    assert (
+        'repro_resilience_faults_total{kind="error",site="registry"} 3'
+        in text
+    )
+    assert (
+        'repro_resilience_faults_total{kind="latency",site="model"} 2'
+        in text
+    )
+    # One family declaration, not one per path.
+    assert text.count("# TYPE repro_resilience_faults_total") == 1
+
+
+def test_breaker_label_values_are_escaped():
+    text = render_exposition(GOLDEN_SNAPSHOT)
+    assert (
+        'repro_resilience_breaker_opened_total'
+        '{breaker="we\\"ird\\\\v1"} 4' in text
+    )
+
+
+def test_histograms_render_as_summaries():
+    text = render_exposition(GOLDEN_SNAPSHOT)
+    assert "# TYPE repro_serve_batch_size summary" in text
+    assert 'repro_serve_batch_size{quantile="0.5"} 5' in text
+    assert 'repro_serve_batch_size{quantile="0.95"} 9.5' in text
+    assert "repro_serve_batch_size_sum 55" in text
+    assert "repro_serve_batch_size_count 10" in text
+    # Empty histogram: no quantile samples, but _sum/_count present.
+    assert 'repro_serve_unused{quantile' not in text
+    assert "repro_serve_unused_count 0" in text
+
+
+def test_timers_export_seconds_and_calls_counters():
+    text = render_exposition(GOLDEN_SNAPSHOT)
+    assert "repro_phase_estep_seconds_total 1.25" in text
+    assert "repro_phase_estep_calls_total 4" in text
+
+
+def test_render_accepts_live_registry():
+    registry = MetricsRegistry()
+    registry.counter("serve/requests_total").inc(3)
+    registry.gauge("serve/depth").set(2.0)
+    text = render_exposition(registry)
+    assert "repro_serve_requests_total 3" in text
+    assert "repro_serve_depth 2" in text
+    assert validate_exposition(text) == []
+
+
+def test_render_rejects_other_types():
+    with pytest.raises(TypeError):
+        render_exposition([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# validate_exposition catches real violations
+# ----------------------------------------------------------------------
+def test_validate_flags_missing_type():
+    problems = validate_exposition("repro_orphan 1\n")
+    assert any("no TYPE" in p for p in problems)
+
+
+def test_validate_flags_counter_without_total():
+    text = "# TYPE repro_x counter\nrepro_x 1\n"
+    problems = validate_exposition(text)
+    assert any("_total" in p for p in problems)
+
+
+def test_validate_flags_garbage_and_missing_newline():
+    problems = validate_exposition("# TYPE repro_x gauge\nrepro_x one")
+    assert any("newline" in p for p in problems)
+    assert any("non-numeric" in p for p in problems)
+
+
+def test_validate_flags_duplicate_type():
+    text = "# TYPE repro_x gauge\n# TYPE repro_x gauge\n"
+    problems = validate_exposition(text)
+    assert any("duplicate" in p for p in problems)
+
+
+def test_validate_accepts_golden():
+    assert validate_exposition(GOLDEN_PATH.read_text()) == []
+
+
+# ----------------------------------------------------------------------
+# MetricsServer: real HTTP scrape
+# ----------------------------------------------------------------------
+def test_metrics_server_serves_exposition():
+    registry = MetricsRegistry()
+    registry.counter("serve/requests_total").inc(5)
+    with MetricsServer(registry) as server:
+        with urllib.request.urlopen(server.url, timeout=5) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            body = response.read().decode()
+    assert "repro_serve_requests_total 5" in body
+    assert validate_exposition(body) == []
+
+
+def test_metrics_server_scrape_reflects_live_updates():
+    registry = MetricsRegistry()
+    counter = registry.counter("serve/requests_total")
+    with MetricsServer(registry) as server:
+        counter.inc(1)
+        first = urllib.request.urlopen(server.url, timeout=5).read().decode()
+        counter.inc(1)
+        second = urllib.request.urlopen(server.url, timeout=5).read().decode()
+    assert "repro_serve_requests_total 1" in first
+    assert "repro_serve_requests_total 2" in second
+
+
+def test_metrics_server_extra_endpoints_and_404():
+    registry = MetricsRegistry()
+    with MetricsServer(
+        registry, extra={"/health": lambda: "status: ok"}
+    ) as server:
+        base = f"http://{server.host}:{server.port}"
+        health = urllib.request.urlopen(f"{base}/health", timeout=5)
+        assert health.read().decode() == "status: ok"
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{base}/nope", timeout=5)

@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry (counters/gauges/histograms/timers)."""
 
+import threading
+
 import pytest
 
 from repro.telemetry import MetricsRegistry
@@ -118,6 +120,62 @@ def test_snapshot_and_reset():
     assert snap["gauges"]["lr"] is None
     assert snap["histograms"]["loss"] == {"count": 0}
     assert snap["timers"]["phase/grad"]["count"] == 0
+
+
+def test_timer_reset_discards_other_threads_open_spans():
+    """Regression: reset() used to clear only the calling thread's span.
+
+    A worker mid-``with timer:`` on another thread would then leak its
+    pre-reset start stamp into the post-reset totals (or crash on
+    stop).  Now reset discards *every* open span: the straddling stop()
+    contributes zero and the timer stays usable.
+    """
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    timer = reg.timer("phase/estep")
+
+    worker_started = threading.Event()
+    resume_worker = threading.Event()
+    worker_result = {}
+
+    def worker():
+        timer.start()
+        worker_started.set()
+        resume_worker.wait(timeout=5)
+        worker_result["elapsed"] = timer.stop()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    assert worker_started.wait(timeout=5)
+    clock.advance(100.0)  # worker's open span straddles the reset
+    timer.reset()  # main thread resets while the worker is mid-span
+    resume_worker.set()
+    thread.join(timeout=5)
+
+    # The straddling span was discarded: zero contribution, no error.
+    assert worker_result["elapsed"] == 0.0
+    assert timer.count == 0
+    assert timer.total_seconds == 0.0
+
+    # The worker's thread id is rehabilitated for future spans...
+    with timer:
+        clock.advance(2.0)
+    assert timer.total_seconds == pytest.approx(2.0)
+    # ...and stop() without start() still raises after a reset.
+    with pytest.raises(RuntimeError):
+        timer.stop()
+
+
+def test_timer_reset_discards_own_open_span_too():
+    clock = FakeClock()
+    timer = MetricsRegistry(clock=clock).timer("t")
+    timer.start()
+    clock.advance(50.0)
+    timer.reset()
+    assert timer.stop() == 0.0  # silently discarded, not an error
+    with timer:
+        clock.advance(1.0)
+    assert timer.total_seconds == pytest.approx(1.0)
 
 
 def test_phase_seconds_filters_prefix():

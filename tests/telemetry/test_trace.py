@@ -1,0 +1,308 @@
+"""Tests for repro.telemetry.trace: spans, sampling, exporters."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.trace import (
+    DEFAULT_SAMPLE_RATE,
+    NULL_SPAN,
+    JsonlSpanExporter,
+    SpanRingBuffer,
+    Tracer,
+    add_event,
+    current_span,
+    current_tracer,
+    load_spans,
+    spans_by_trace,
+    start_span,
+    tracing_active,
+    use_tracer,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(**kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    kwargs.setdefault("wall_clock", lambda: 1234.5)
+    return Tracer(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Identity and determinism
+# ----------------------------------------------------------------------
+def test_ids_are_deterministic_across_tracers():
+    first = [make_tracer().start_span("op").context for _ in range(1)][0]
+    second = make_tracer().start_span("op").context
+    assert first.trace_id == second.trace_id
+    assert first.span_id == second.span_id
+    # Seed-derived prefix + serial counter.
+    assert first.trace_id.startswith("af7a89")
+    assert first.span_id == "00000001"
+
+
+def test_seed_changes_trace_prefix_only():
+    a = make_tracer(seed=2018).start_span("op").context
+    b = make_tracer(seed=7).start_span("op").context
+    assert a.trace_id != b.trace_id
+    assert a.span_id == b.span_id
+
+
+def test_children_share_trace_and_parent_chain():
+    tracer = make_tracer()
+    with tracer.start_span("root") as root:
+        with tracer.start_span("child") as child:
+            with tracer.start_span("grandchild") as grandchild:
+                assert child.context.trace_id == root.context.trace_id
+                assert grandchild.context.trace_id == root.context.trace_id
+                assert child.parent_id == root.context.span_id
+                assert grandchild.parent_id == child.context.span_id
+
+
+def test_active_span_stacks_and_restores():
+    tracer = make_tracer()
+    assert current_span() is None
+    with tracer.start_span("outer") as outer:
+        assert current_span() is outer
+        with tracer.start_span("inner") as inner:
+            assert current_span() is inner
+        assert current_span() is outer
+    assert current_span() is None
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+def test_deterministic_rate_accumulator_sampling():
+    tracer = make_tracer(sample_rate=0.5)
+    decisions = [tracer.start_span("r").sampled for _ in range(6)]
+    # Exactly every second root fires, no randomness involved.
+    assert decisions == [False, True, False, True, False, True]
+    assert tracer.started == 6
+    assert tracer.sampled == 3
+
+
+def test_default_rate_records_one_in_ten():
+    tracer = make_tracer(sample_rate=DEFAULT_SAMPLE_RATE)
+    decisions = [tracer.start_span("r").sampled for _ in range(20)]
+    assert decisions.count(True) == 2
+
+
+def test_children_inherit_unsampled_decision():
+    tracer = make_tracer(sample_rate=0.5)
+    with tracer.start_span("root") as root:  # first root: unsampled
+        assert not root.sampled
+        with tracer.start_span("child") as child:
+            assert not child.sampled
+    assert len(tracer.buffer) == 0
+
+
+def test_unsampled_spans_drop_payload():
+    tracer = make_tracer(sample_rate=0.0)
+    with tracer.start_span("r", attributes={"k": 1}) as span:
+        span.set_attribute("x", 2)
+        span.event("boom")
+        span.record_child("c", 0.5)
+    assert span.attributes == {}
+    assert span.events == []
+    assert span.start == 0.0
+    assert len(tracer.buffer) == 0
+
+
+def test_invalid_sample_rate_rejected():
+    with pytest.raises(ValueError):
+        Tracer(sample_rate=1.5)
+
+
+# ----------------------------------------------------------------------
+# Span payload and lifecycle
+# ----------------------------------------------------------------------
+def test_span_records_timing_attributes_events():
+    tracer = make_tracer()
+    with tracer.start_span("op", attributes={"method": "predict"}) as span:
+        span.set_attribute("rows", 3)
+        span.event("retry", attempt=1)
+    payload = tracer.buffer.spans()[0]
+    assert payload["name"] == "op"
+    assert payload["status"] == "ok"
+    assert payload["attributes"] == {"method": "predict", "rows": 3}
+    assert payload["events"][0]["name"] == "retry"
+    assert payload["events"][0]["attempt"] == 1
+    assert payload["duration"] == payload["end"] - payload["start"] > 0
+    assert payload["wall_start"] == 1234.5
+
+
+def test_exception_marks_error_status():
+    tracer = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.start_span("op"):
+            raise RuntimeError("boom")
+    payload = tracer.buffer.spans()[0]
+    assert payload["status"] == "error"
+    assert payload["attributes"]["error"] == "RuntimeError"
+
+
+def test_record_child_emits_synthetic_span():
+    tracer = make_tracer()
+    with tracer.start_span("epoch") as epoch:
+        epoch.record_child("phase/estep", 0.25)
+    spans = tracer.buffer.spans()
+    child = next(s for s in spans if s["name"] == "phase/estep")
+    assert child["parent_id"] == epoch.context.span_id
+    assert child["duration"] == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# Ring buffer
+# ----------------------------------------------------------------------
+def test_ring_buffer_bounds_and_counts():
+    buffer = SpanRingBuffer(capacity=3)
+    for i in range(5):
+        buffer.export({"trace_id": "t", "i": i})
+    assert len(buffer) == 3
+    assert buffer.exported == 5
+    assert [s["i"] for s in buffer.spans()] == [2, 3, 4]
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.exported == 5
+
+
+def test_ring_buffer_trace_filter():
+    buffer = SpanRingBuffer()
+    buffer.export({"trace_id": "a", "n": 1})
+    buffer.export({"trace_id": "b", "n": 2})
+    buffer.export({"trace_id": "a", "n": 3})
+    assert [s["n"] for s in buffer.trace("a")] == [1, 3]
+
+
+# ----------------------------------------------------------------------
+# JSONL exporter and loader
+# ----------------------------------------------------------------------
+def test_exporter_writes_one_complete_line_per_span(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    tracer = make_tracer(exporter=JsonlSpanExporter(path=str(path)))
+    with tracer.start_span("a"):
+        pass
+    with tracer.start_span("b"):
+        pass
+    tracer.exporter.close()
+    lines = path.read_text().splitlines()
+    assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+def test_exporter_flush_policy(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    exporter = JsonlSpanExporter(path=str(path), flush_every=3)
+    exporter.export({"n": 1})
+    exporter.export({"n": 2})
+    assert path.read_text() == ""  # buffered, below threshold
+    exporter.export({"n": 3})
+    assert len(path.read_text().splitlines()) == 3  # threshold flush
+    exporter.export({"n": 4})
+    exporter.flush()  # explicit flush drains the buffer
+    assert len(path.read_text().splitlines()) == 4
+    exporter.close()
+    with pytest.raises(RuntimeError):
+        exporter.export({"n": 5})
+
+
+def test_exporter_stream_mode_single_write_lines():
+    stream = io.StringIO()
+    with JsonlSpanExporter(stream=stream) as exporter:
+        exporter.export({"k": "v"})
+    assert stream.getvalue() == '{"k": "v"}\n'
+
+
+def test_exporter_requires_exactly_one_sink(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlSpanExporter()
+    with pytest.raises(ValueError):
+        JsonlSpanExporter(
+            path=str(tmp_path / "x.jsonl"), stream=io.StringIO()
+        )
+
+
+def test_load_spans_roundtrip_and_grouping(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    tracer = make_tracer(exporter=JsonlSpanExporter(path=str(path)))
+    with tracer.start_span("root"):
+        with tracer.start_span("child"):
+            pass
+    with tracer.start_span("other"):
+        pass
+    tracer.exporter.close()
+    spans = load_spans(str(path))
+    assert len(spans) == 3
+    grouped = spans_by_trace(spans)
+    assert len(grouped) == 2
+    sizes = sorted(len(v) for v in grouped.values())
+    assert sizes == [1, 2]
+
+
+def test_load_spans_names_corrupt_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\n{"truncat\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        load_spans(str(path))
+
+
+# ----------------------------------------------------------------------
+# Ambient API
+# ----------------------------------------------------------------------
+def test_start_span_without_tracer_is_null_span():
+    assert current_tracer() is None
+    assert not tracing_active()
+    span = start_span("anything")
+    assert span is NULL_SPAN
+    with span as inert:
+        inert.set_attribute("k", 1)
+        inert.event("e")
+        inert.record_child("c", 0.1)
+    add_event("also-a-noop")
+
+
+def test_use_tracer_installs_and_restores():
+    tracer = make_tracer()
+    with use_tracer(tracer) as installed:
+        assert installed is tracer
+        assert current_tracer() is tracer
+        assert tracing_active()
+        with start_span("op") as span:
+            assert span is not NULL_SPAN
+            add_event("seen", detail="yes")
+    assert current_tracer() is None
+    payload = tracer.buffer.spans()[0]
+    assert payload["events"][0]["name"] == "seen"
+
+
+def test_use_tracer_rejects_non_tracer():
+    with pytest.raises(TypeError):
+        with use_tracer(object()):
+            pass
+
+
+def test_ambient_tracer_is_context_local_per_thread():
+    tracer = make_tracer()
+    seen_in_thread = []
+
+    def probe():
+        seen_in_thread.append(current_tracer())
+
+    with use_tracer(tracer):
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+    # A plain thread does not inherit the ambient tracer.
+    assert seen_in_thread == [None]

@@ -116,3 +116,91 @@ def test_telemetry_flags_write_log_and_print_summary(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "phase/estep" in err
     assert "train/batches" in err
+
+
+def test_parser_accepts_observability_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--metrics-port", "0", "--trace-out", "spans.jsonl",
+         "--trace-sample", "0.5"]
+    )
+    assert args.metrics_port == 0
+    assert args.trace_out == "spans.jsonl"
+    assert args.trace_sample == 0.5
+    args = parser.parse_args(["metrics", "--from-json", "snap.json"])
+    assert args.experiment == "metrics" and args.from_json == "snap.json"
+    args = parser.parse_args(
+        ["trace", "summarize", "--span-log", "spans.jsonl",
+         "--trace-id", "abc123"]
+    )
+    assert args.experiment == "trace"
+    assert args.subaction == "summarize"
+    assert args.span_log == "spans.jsonl" and args.trace_id == "abc123"
+
+
+def test_serve_with_tracing_and_metrics_port(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    assert main(["serve", "--fast", "--requests", "30", "--max-batch", "8",
+                 "--trace-out", str(spans), "--metrics-port", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "serve smoke test OK" in out
+    assert "0 problems" in out  # self-scrape validated cleanly
+    assert "traces: started=" in out
+
+    # The span log is a parseable narrative of the replay...
+    import json
+    records = [json.loads(line)
+               for line in spans.read_text().splitlines()]
+    names = {r["name"] for r in records}
+    assert "serve/request" in names
+
+    # ...that `repro trace summarize` turns into a table + tree.
+    assert main(["trace", "summarize", "--span-log", str(spans)]) == 0
+    out = capsys.readouterr().out
+    assert "serve/request" in out
+    assert "p99_ms" in out
+    assert "critical path" in out
+
+
+def test_trace_summarize_argument_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "frobnicate", "--span-log", "x.jsonl"])
+    with pytest.raises(SystemExit):
+        main(["trace", "summarize"])  # missing --span-log
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(SystemExit):
+        main(["trace", "summarize", "--span-log", str(empty)])
+
+
+def test_metrics_command_renders_snapshot(tmp_path, capsys):
+    import json
+
+    snapshot = {
+        "metrics": {
+            "counters": {"serve/requests_total": 9.0},
+            "gauges": {"serve/queue_depth": 1.0},
+        }
+    }
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(snapshot))
+    assert main(["metrics", "--from-json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "repro_serve_requests_total 9" in out
+    assert "# TYPE repro_serve_queue_depth gauge" in out
+
+
+def test_metrics_command_requires_from_json():
+    with pytest.raises(SystemExit):
+        main(["metrics"])
+
+
+def test_metrics_command_rejects_snapshotless_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "nometrics.json"
+    path.write_text(json.dumps({"bench": "trace", "extra": {}}))
+    with pytest.raises(SystemExit) as excinfo:
+        main(["metrics", "--from-json", str(path)])
+    assert excinfo.value.code == 1
+    assert "no metrics snapshot found" in capsys.readouterr().err

@@ -257,6 +257,61 @@ class TestTelemetryCoverage:
         assert len(found) == 1
         assert "snapshot()" in found[0].message
 
+    def test_entry_point_without_span_flagged(self):
+        source = """
+            class Server:
+                def predict(self, row):
+                    return self._dispatch("predict", [row])[0]
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.SERVE)
+        assert len(found) == 1
+        assert "Server.predict" in found[0].message
+        assert "span" in found[0].message
+
+    def test_entry_point_with_span_helper_is_clean(self):
+        source = """
+            class Server:
+                def request(self, method, row):
+                    with self._start_span("serve/request", method=method):
+                        return self._dispatch(method, [row])[0]
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.SERVE
+        ) == []
+
+    def test_entry_point_delegating_to_sibling_is_clean(self):
+        source = """
+            class Server:
+                def request(self, method, row):
+                    with self._start_span("serve/request", method=method):
+                        return self._dispatch(method, [row])[0]
+
+                def predict(self, row):
+                    return self.request("predict", row)
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.SERVE
+        ) == []
+
+    def test_self_recursion_is_not_delegation(self):
+        source = """
+            class Server:
+                def predict(self, row):
+                    return self.predict(row)
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.SERVE)
+        assert len(found) == 1
+
+    def test_span_coverage_scoped_to_serve(self):
+        source = """
+            class Trainer:
+                def predict(self, row):
+                    return row
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module="repro.optim.fake"
+        ) == []
+
     def test_rule_is_scoped_to_serve_and_optim(self):
         source = """
             import time
