@@ -380,6 +380,183 @@ def _cmd_serve(args) -> None:
     print("serve smoke test OK")
 
 
+def _cmd_serve_sharded(args) -> None:
+    """Sharded serve smoke: replay traffic over N worker processes.
+
+    Publishes the demo model, stands up a
+    :class:`~repro.serve.sharding.server.ShardedModelServer`, replays
+    concurrent traffic, then verifies bit-identical labels against the
+    direct model, the per-path request accounting identity, and a
+    healthy per-shard status report.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .linear.logistic import LogisticRegression
+    from .serve import ModelRegistry, ShardedModelServer
+
+    n_requests = args.requests
+    model, x = _train_demo_model(fast=args.fast)
+    rows = x[np.arange(n_requests) % x.shape[0]]
+    expected = model.predict(rows)
+
+    registry = ModelRegistry(args.registry)
+    registry.register(
+        args.name,
+        lambda: LogisticRegression(model.n_features, weight_init_std=0.0),
+    )
+    version = registry.publish(args.name, model)
+    print(f"published {args.name}:{version}")
+
+    tracer = None
+    exporter = None
+    if args.trace_out:
+        exporter = JsonlSpanExporter(path=args.trace_out)
+        tracer = Tracer(exporter=exporter, sample_rate=args.trace_sample)
+        print(f"tracing to {args.trace_out} "
+              f"(sample_rate={args.trace_sample})")
+
+    server = ShardedModelServer(
+        registry=registry,
+        name=args.name,
+        n_shards=args.shards,
+        max_batch_size=args.max_batch,
+        tracer=tracer,
+    )
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            server.metrics, port=args.metrics_port,
+            extra={"/health": lambda: repr(server.health())},
+        )
+        print(f"metrics exposed at {metrics_server.url}")
+    with server, ThreadPoolExecutor(max_workers=16) as pool:
+        got = np.array(list(pool.map(server.predict, rows)))
+        health = server.health()
+        stats = server.stats()
+    if metrics_server is not None:
+        metrics_server.close()
+    if exporter is not None:
+        exporter.close()
+
+    failures = []
+    if not np.array_equal(got, expected):
+        failures.append("sharded predictions differ from direct predictions")
+    if stats["requests"] != n_requests:
+        failures.append(
+            f"requests_total={stats['requests']} != issued {n_requests}"
+        )
+    counters = stats["metrics"]["counters"]
+    accounted = (
+        counters.get("serve/cache_hits_total", 0.0)
+        + stats["shed"]
+        + counters.get("serve/deadline_expired_total", 0.0)
+        + stats["metrics"]["histograms"]["serve/batch_size"].get("sum", 0.0)
+        + stats["rescued"]
+    )
+    if accounted != n_requests:
+        failures.append(
+            f"request accounting mismatch: {accounted} != {n_requests}"
+        )
+    if health["status"] not in ("ok", "degraded"):
+        failures.append(f"unexpected health status {health['status']!r}")
+    if health["alive_shards"] != args.shards:
+        failures.append(
+            f"alive_shards={health['alive_shards']} != {args.shards}"
+        )
+
+    print(f"shards={args.shards} requests={stats['requests']:.0f} "
+          f"batches={stats['batches']:.0f} "
+          f"mean_batch={stats['mean_batch_size']:.1f} "
+          f"shed={stats['shed']:.0f} rescued={stats['rescued']:.0f} "
+          f"cache_hit_rate={stats['cache_hit_rate']:.2f}")
+    print("shard split: " + ", ".join(
+        f"{shard}:{count:.0f}"
+        for shard, count in sorted(stats["shard_requests"].items())
+    ))
+    for status in health["shards"]:
+        print(f"  shard {status['shard']}: alive={status['alive']} "
+              f"version={status['active_version']} "
+              f"queue={status['queue_depth']} "
+              f"breaker={status['breaker']} "
+              f"respawns={status['respawns']}")
+    if failures:
+        for failure in failures:
+            print(f"sharded serve smoke FAILED: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print("sharded serve smoke test OK")
+
+
+def _cmd_loadgen(args) -> None:
+    """Replay a seeded traffic mix against a (sharded) server.
+
+    Prints the per-shard QPS / p50 / p99 table; with ``--kill-shard``
+    the run SIGKILLs that worker mid-replay and the command fails if
+    any request was dropped or errored (the chaos drill from
+    ``docs/RUNBOOK.md``).
+    """
+    from .loadgen import LoadGenerator, TrafficMix, build_schedule
+    from .serve import ModelServer, ShardedModelServer
+
+    model, x = _train_demo_model(fast=args.fast)
+    mix = (
+        TrafficMix.closed_loop()
+        if args.mix == "closed_loop"
+        else TrafficMix.heavy_tail(mean_gap=0.0002 * args.time_scale)
+    )
+    schedule = build_schedule(
+        mix, n_requests=args.requests, n_rows=min(64, len(x)),
+        seed=args.chaos_seed,
+    )
+    if args.shards > 0:
+        server = ShardedModelServer(
+            model=model, n_shards=args.shards,
+            max_batch_size=args.max_batch,
+        )
+    else:
+        server = ModelServer(
+            model=model, max_batch_size=args.max_batch,
+            workers=args.serve_workers,
+        )
+    kill = None
+    if args.kill_shard is not None:
+        if args.shards <= 0:
+            print("--kill-shard requires --shards >= 1", file=sys.stderr)
+            raise SystemExit(2)
+        kill = (args.requests // 2, args.kill_shard)
+    with server:
+        generator = LoadGenerator(
+            server, schedule, x[:64], workers=8, mix_name=mix.name,
+            time_scale=args.time_scale, kill_shard_at=kill,
+            metrics=server.metrics,
+        )
+        report = generator.run()
+        health = server.health()
+    print(f"mix={mix.name} requests={report.n_requests} "
+          f"duration={report.duration_seconds:.2f}s qps={report.qps:.0f}")
+    print(report.format_table())
+    failures = []
+    if report.n_requests != args.requests:
+        failures.append(
+            f"dropped requests: answered {report.n_requests} of "
+            f"{args.requests}"
+        )
+    if report.errors:
+        failures.append(f"{report.errors} requests errored")
+    if kill is not None:
+        respawns = sum(
+            status.get("respawns", 0) for status in health["shards"]
+        )
+        print(f"chaos: killed shard {args.kill_shard} mid-run, "
+              f"respawns={respawns}")
+        if respawns < 1:
+            failures.append("kill drill ran but no respawn was recorded")
+    if failures:
+        for failure in failures:
+            print(f"loadgen FAILED: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print("loadgen OK")
+
+
 def _cmd_predict(args) -> None:
     """Score rows from ``--input`` with the registry's active model."""
     from .serve import ModelRegistry
@@ -466,9 +643,23 @@ def _cmd_trace(args) -> None:
         print(format_trace_tree(spans, trace_id))
 
 
+def _cmd_serve_dispatch(args) -> None:
+    """Route ``serve`` to the single-process or sharded smoke."""
+    if args.shards > 0:
+        if args.chaos:
+            print("--chaos is not supported with --shards (use "
+                  "'loadgen --kill-shard' for the sharded chaos drill)",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        _cmd_serve_sharded(args)
+    else:
+        _cmd_serve(args)
+
+
 _SERVE_COMMANDS = {
-    "serve": _cmd_serve,
+    "serve": _cmd_serve_dispatch,
     "predict": _cmd_predict,
+    "loadgen": _cmd_loadgen,
 }
 
 # Run outside the experiment banner loop: their stdout (exposition
@@ -552,6 +743,26 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--serve-workers", type=int, default=2,
         help="serve only: dispatch worker threads",
+    )
+    serving.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve/loadgen: worker processes for the sharded tier "
+             "(0 = single-process server)",
+    )
+    serving.add_argument(
+        "--mix", choices=("heavy_tail", "closed_loop"),
+        default="heavy_tail",
+        help="loadgen only: traffic mix to replay",
+    )
+    serving.add_argument(
+        "--kill-shard", type=int, default=None, metavar="SHARD",
+        help="loadgen only: SIGKILL this shard's worker at the "
+             "schedule midpoint (zero-dropped-requests drill)",
+    )
+    serving.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="X",
+        help="loadgen only: multiplier on inter-arrival gaps and "
+             "client stalls (0 = closed loop)",
     )
     serving.add_argument(
         "--chaos", action="store_true",

@@ -1,0 +1,29 @@
+"""Seeded load-test harness for the serving tiers.
+
+Split into a *pure* planning half and a *replay* half so load tests
+are reproducible evidence rather than one-off anecdotes:
+
+- :mod:`~repro.loadgen.mix` — :class:`~repro.loadgen.mix.TrafficMix`
+  (heavy-tail gaps, bursts, hot keys, slow clients) expanded by
+  :func:`~repro.loadgen.mix.build_schedule` into a deterministic,
+  seed-keyed request schedule;
+- :mod:`~repro.loadgen.runner` —
+  :class:`~repro.loadgen.runner.LoadGenerator` replays a schedule with
+  a client-thread pool (optional chaos overlay, optional deterministic
+  kill-one-worker drill) and condenses the run into a
+  :class:`~repro.loadgen.runner.LoadReport` with per-shard
+  QPS / p50 / p99 tables.
+"""
+
+from .mix import ScheduledRequest, TrafficMix, build_schedule
+from .runner import LoadGenerator, LoadReport, RequestOutcome, ShardStats
+
+__all__ = [
+    "ScheduledRequest",
+    "TrafficMix",
+    "build_schedule",
+    "LoadGenerator",
+    "LoadReport",
+    "RequestOutcome",
+    "ShardStats",
+]

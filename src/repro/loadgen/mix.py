@@ -1,0 +1,196 @@
+"""Traffic mixes: seeded, replayable request schedules for load tests.
+
+A load test is only evidence if it can be replayed: the same mix, seed
+and request count must produce the *same* schedule — same rows, same
+methods, same inter-arrival gaps, same burst positions, same slow
+clients — on every run and every machine.  So a
+:class:`TrafficMix` is pure configuration, :func:`build_schedule`
+expands it into a concrete list of :class:`ScheduledRequest` using only
+:func:`repro.rng.spawn` streams, and the runner replays that list
+verbatim.  Nothing about timing is decided at replay time.
+
+The shapes modeled here are the ones that actually break serving tiers:
+
+- **heavy-tail inter-arrivals** — lognormal gaps (a tame mean hiding
+  occasional multi-sigma stalls and pile-ups) instead of a polite
+  constant rate;
+- **bursts** — every ``burst_every``-th request opens a train of
+  ``burst_size`` back-to-back arrivals with zero gap, the pattern that
+  tests queue headroom and shedding;
+- **hot keys** — a configurable fraction of requests drawn from a tiny
+  row pool, which concentrates load on one shard (by design: routing
+  is content-hashed) and exercises the prediction cache;
+- **slow clients** — a fraction of requests whose caller stalls after
+  the reply, holding a worker slot the way a slow reader holds a
+  socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import rng as repro_rng
+
+__all__ = ["TrafficMix", "ScheduledRequest", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Declarative description of one traffic pattern.
+
+    Parameters
+    ----------
+    name:
+        Label carried into reports and bench JSON.
+    methods:
+        ``(method, weight)`` pairs the generator samples from.
+    hot_fraction / hot_pool:
+        Fraction of requests drawn from the first ``hot_pool`` rows of
+        the row pool (the hot keyset); the rest draw uniformly from the
+        whole pool.
+    mean_gap:
+        Mean inter-arrival gap in seconds (0 = closed loop, replay as
+        fast as the workers can go).
+    gap_sigma:
+        Lognormal sigma of the gap distribution; larger = heavier tail.
+    burst_every / burst_size:
+        Every ``burst_every``-th request begins a train of
+        ``burst_size`` arrivals with zero gap (0 disables bursts).
+    slow_fraction / slow_delay:
+        Fraction of requests whose client stalls ``slow_delay`` seconds
+        after receiving its answer.
+    """
+
+    name: str = "steady"
+    methods: Tuple[Tuple[str, float], ...] = (("predict", 1.0),)
+    hot_fraction: float = 0.0
+    hot_pool: int = 4
+    mean_gap: float = 0.0
+    gap_sigma: float = 1.0
+    burst_every: int = 0
+    burst_size: int = 0
+    slow_fraction: float = 0.0
+    slow_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ValueError("methods must not be empty")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        if not 0.0 <= self.slow_fraction <= 1.0:
+            raise ValueError(
+                f"slow_fraction must be in [0, 1], got {self.slow_fraction}"
+            )
+        if self.hot_pool < 1:
+            raise ValueError(f"hot_pool must be >= 1, got {self.hot_pool}")
+
+    @classmethod
+    def heavy_tail(cls, mean_gap: float = 0.0005) -> "TrafficMix":
+        """The default stress mix: tail gaps, bursts, hot keys, slow clients."""
+        return cls(
+            name="heavy_tail",
+            hot_fraction=0.3,
+            hot_pool=4,
+            mean_gap=mean_gap,
+            gap_sigma=1.5,
+            burst_every=50,
+            burst_size=8,
+            slow_fraction=0.02,
+            slow_delay=0.005,
+        )
+
+    @classmethod
+    def closed_loop(cls) -> "TrafficMix":
+        """Maximum-pressure mix: no gaps at all (throughput measurement)."""
+        return cls(name="closed_loop")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One concrete request in a replayable schedule.
+
+    ``gap`` is the seconds the generator waits *before* issuing this
+    request (relative to the previous one claimed by the same worker);
+    ``slow`` is the post-reply client stall in seconds (0 = normal
+    client).
+    """
+
+    index: int
+    row_id: int
+    method: str
+    gap: float
+    slow: float
+
+
+def build_schedule(
+    mix: TrafficMix,
+    n_requests: int,
+    n_rows: int,
+    seed: int = repro_rng.REPRO_DEFAULT_SEED,
+) -> List[ScheduledRequest]:
+    """Expand ``mix`` into ``n_requests`` concrete requests.
+
+    ``n_rows`` is the size of the row pool the runner indexes with
+    ``row_id``.  Fully deterministic: the same ``(mix, n_requests,
+    n_rows, seed)`` produce an identical schedule on every run — the
+    replay-determinism test asserts exactly this.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if n_rows < 1:
+        raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+    rows_rng = repro_rng.spawn(seed, 0x10AD, 0)
+    method_rng = repro_rng.spawn(seed, 0x10AD, 1)
+    gap_rng = repro_rng.spawn(seed, 0x10AD, 2)
+    slow_rng = repro_rng.spawn(seed, 0x10AD, 3)
+
+    names = [method for method, _weight in mix.methods]
+    weights = np.asarray(
+        [weight for _method, weight in mix.methods], dtype=np.float64
+    )
+    if np.any(weights < 0) or float(weights.sum()) <= 0.0:
+        raise ValueError(f"method weights must be >= 0 and sum > 0: {weights}")
+    probs = weights / weights.sum()
+
+    hot_pool = min(mix.hot_pool, n_rows)
+    # Lognormal with unit median scaled to the requested mean: heavy
+    # tail without pathological variance at sigma ~1.5.
+    if mix.mean_gap > 0.0:
+        raw_gaps = gap_rng.lognormal(
+            mean=0.0, sigma=mix.gap_sigma, size=n_requests
+        )
+        gaps = mix.mean_gap * raw_gaps / float(np.exp(mix.gap_sigma**2 / 2.0))
+    else:
+        gaps = np.zeros(n_requests, dtype=np.float64)
+
+    schedule: List[ScheduledRequest] = []
+    burst_left = 0
+    for index in range(n_requests):
+        if mix.burst_every and index % mix.burst_every == 0 and index:
+            burst_left = mix.burst_size
+        if burst_left > 0:
+            gap = 0.0
+            burst_left -= 1
+        else:
+            gap = float(gaps[index])
+        if mix.hot_fraction and rows_rng.random() < mix.hot_fraction:
+            row_id = int(rows_rng.integers(0, hot_pool))
+        else:
+            row_id = int(rows_rng.integers(0, n_rows))
+        method = names[int(method_rng.choice(len(names), p=probs))]
+        slow = (
+            mix.slow_delay
+            if mix.slow_fraction and slow_rng.random() < mix.slow_fraction
+            else 0.0
+        )
+        schedule.append(
+            ScheduledRequest(
+                index=index, row_id=row_id, method=method, gap=gap, slow=slow
+            )
+        )
+    return schedule

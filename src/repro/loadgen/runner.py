@@ -1,0 +1,328 @@
+"""Load generator: replay a schedule against a server, report per shard.
+
+:class:`LoadGenerator` drives any ``ModelServer``-shaped object (the
+single-process server or the sharded tier) with a schedule built by
+:func:`repro.loadgen.mix.build_schedule`.  A pool of client threads
+claims requests in schedule order, honors each request's inter-arrival
+gap and slow-client stall, and records a per-request outcome; the run
+condenses into a :class:`LoadReport` with aggregate and per-shard
+QPS / p50 / p99 tables.
+
+Shard attribution uses the server's own consistent-hash ring (when it
+has one) on the same content key the server routes by, so the report's
+per-shard rows reflect *intended* placement — against a single-process
+server everything lands on shard 0 and the table degenerates to the
+aggregate row.
+
+Two overlays turn a measurement into a drill:
+
+- ``fault_injector`` — each request is routed through the
+  ``"loadgen"`` site of an existing
+  :class:`~repro.serve.resilience.FaultInjector`, so client-visible
+  chaos (latency spikes, injected errors) composes with the server's
+  own chaos sites;
+- ``kill_shard_at`` — at a fixed *schedule position* (deterministic,
+  not wall clock), SIGKILL one worker of a sharded server mid-run: the
+  zero-dropped-requests acceptance drill.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serve.resilience import FaultInjector
+from ..telemetry import trace as tracing
+from ..telemetry.metrics import MetricsRegistry
+from .mix import ScheduledRequest
+
+__all__ = ["RequestOutcome", "ShardStats", "LoadReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One replayed request: where it went and how long it took."""
+
+    index: int
+    shard: int
+    latency: float
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Aggregates for one shard's slice of the run."""
+
+    shard: int
+    requests: int
+    qps: float
+    p50_ms: float
+    p99_ms: float
+
+
+@dataclass
+class LoadReport:
+    """Result of one load-generation run.
+
+    ``errors`` counts requests that raised (after any injected chaos);
+    every scheduled request appears exactly once in ``outcomes`` — the
+    generator never drops one, so ``n_requests`` is also the number of
+    answers observed.
+    """
+
+    mix_name: str
+    n_requests: int
+    errors: int
+    duration_seconds: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    shards: List[ShardStats] = field(default_factory=list)
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (outcomes elided — they are per-request)."""
+        return {
+            "mix": self.mix_name,
+            "n_requests": self.n_requests,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "requests": s.requests,
+                    "qps": s.qps,
+                    "p50_ms": s.p50_ms,
+                    "p99_ms": s.p99_ms,
+                }
+                for s in self.shards
+            ],
+        }
+
+    def format_table(self) -> str:
+        """Fixed-width per-shard table (the CLI's human-facing output)."""
+        header = (
+            f"{'shard':>6} {'requests':>9} {'qps':>10} "
+            f"{'p50_ms':>9} {'p99_ms':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.shards:
+            lines.append(
+                f"{s.shard:>6} {s.requests:>9} {s.qps:>10.1f} "
+                f"{s.p50_ms:>9.3f} {s.p99_ms:>9.3f}"
+            )
+        lines.append(
+            f"{'all':>6} {self.n_requests:>9} {self.qps:>10.1f} "
+            f"{self.p50_ms:>9.3f} {self.p99_ms:>9.3f}"
+        )
+        if self.errors:
+            lines.append(f"errors: {self.errors}")
+        return "\n".join(lines)
+
+
+def _percentiles_ms(latencies: Sequence[float]) -> Tuple[float, float]:
+    if not latencies:
+        return 0.0, 0.0
+    arr = np.sort(np.asarray(latencies, dtype=np.float64))
+    p50 = float(arr[min(len(arr) - 1, int(0.50 * len(arr)))])
+    p99 = float(arr[min(len(arr) - 1, int(0.99 * len(arr)))])
+    return p50 * 1e3, p99 * 1e3
+
+
+class LoadGenerator:
+    """Replay one schedule against one server with a client-thread pool.
+
+    Parameters
+    ----------
+    server:
+        Anything exposing ``request(method, row)`` — both server tiers
+        qualify.  Shard attribution additionally uses ``server.ring``
+        when present.
+    schedule:
+        The :func:`~repro.loadgen.mix.build_schedule` output to replay.
+    rows:
+        Row pool indexed by each request's ``row_id``.
+    workers:
+        Concurrent client threads.
+    mix_name:
+        Label for the report.
+    time_scale:
+        Multiplier on every gap/stall (0 collapses the schedule to a
+        closed loop without rebuilding it).
+    fault_injector:
+        Optional chaos overlay; requests run through its ``"loadgen"``
+        site.
+    kill_shard_at:
+        Optional ``(position, shard_id)``: when the request at that
+        schedule position is claimed, SIGKILL that shard's worker
+        first (requires a server with a ``supervisor``).
+    metrics:
+        Optional registry for ``loadgen/...`` instruments.
+    """
+
+    def __init__(
+        self,
+        server: Any,
+        schedule: Sequence[ScheduledRequest],
+        rows: np.ndarray,
+        workers: int = 4,
+        mix_name: str = "custom",
+        time_scale: float = 1.0,
+        fault_injector: Optional[FaultInjector] = None,
+        kill_shard_at: Optional[Tuple[int, int]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.server = server
+        self.schedule = list(schedule)
+        self.rows = np.asarray(rows, dtype=np.float64)
+        self.workers = int(workers)
+        self.mix_name = mix_name
+        self.time_scale = float(time_scale)
+        self.fault_injector = fault_injector
+        self.kill_shard_at = kill_shard_at
+        self.metrics = metrics
+        self._sleep = sleep
+        self._cursor = 0
+        self._cursor_lock = threading.Lock()
+        self._killed = False
+
+    def _claim(self) -> Optional[ScheduledRequest]:
+        with self._cursor_lock:
+            if self._cursor >= len(self.schedule):
+                return None
+            request = self.schedule[self._cursor]
+            self._cursor += 1
+        return request
+
+    def _intended_shard(self, method: str, row: np.ndarray) -> int:
+        ring = getattr(self.server, "ring", None)
+        if ring is None:
+            return 0
+        from ..serve.sharding.hashing import routing_key
+
+        key = routing_key(method, np.ascontiguousarray(row).tobytes())
+        return int(ring.route(key))
+
+    def _maybe_kill(self, request: ScheduledRequest) -> None:
+        if self.kill_shard_at is None or self._killed:
+            return
+        position, shard = self.kill_shard_at
+        if request.index < position:
+            return
+        with self._cursor_lock:
+            if self._killed:
+                return
+            self._killed = True
+        supervisor = getattr(self.server, "supervisor", None)
+        if supervisor is None:
+            raise RuntimeError(
+                "kill_shard_at requires a sharded server (no supervisor)"
+            )
+        supervisor.kill(shard)
+
+    def _issue(self, request: ScheduledRequest) -> RequestOutcome:
+        row = self.rows[request.row_id % len(self.rows)]
+        shard = self._intended_shard(request.method, row)
+        call: Callable[[], Any] = (
+            lambda: self.server.request(request.method, row)
+        )
+        started = time.monotonic()
+        error: Optional[str] = None
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.call(
+                    "loadgen", self.server.request, request.method, row
+                )
+            else:
+                call()
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        latency = time.monotonic() - started
+        if request.slow:
+            self._sleep(request.slow * self.time_scale)
+        if self.metrics is not None:
+            self.metrics.counter("loadgen/requests_total").inc()
+            self.metrics.histogram("loadgen/latency_seconds").observe(latency)
+            if error is not None:
+                self.metrics.counter("loadgen/errors_total").inc()
+        return RequestOutcome(
+            index=request.index, shard=shard, latency=latency, error=error
+        )
+
+    def _worker_loop(self, outcomes: List[Optional[RequestOutcome]]) -> None:
+        while True:
+            request = self._claim()
+            if request is None:
+                return
+            self._maybe_kill(request)
+            if request.gap and self.time_scale:
+                self._sleep(request.gap * self.time_scale)
+            outcomes[request.index] = self._issue(request)
+
+    def run(self) -> LoadReport:
+        """Replay the whole schedule; block until every answer arrived."""
+        with tracing.start_span(
+            "loadgen/run",
+            attributes={
+                "mix": self.mix_name,
+                "n_requests": len(self.schedule),
+                "workers": self.workers,
+            },
+        ):
+            outcomes: List[Optional[RequestOutcome]] = (
+                [None] * len(self.schedule)
+            )
+            started = time.monotonic()
+            threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(outcomes,),
+                    name=f"loadgen-{i}",
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            duration = max(time.monotonic() - started, 1e-9)
+        done = [outcome for outcome in outcomes if outcome is not None]
+        latencies = [outcome.latency for outcome in done]
+        p50, p99 = _percentiles_ms(latencies)
+        by_shard: Dict[int, List[RequestOutcome]] = {}
+        for outcome in done:
+            by_shard.setdefault(outcome.shard, []).append(outcome)
+        shards = [
+            ShardStats(
+                shard=shard,
+                requests=len(group),
+                qps=len(group) / duration,
+                p50_ms=_percentiles_ms([o.latency for o in group])[0],
+                p99_ms=_percentiles_ms([o.latency for o in group])[1],
+            )
+            for shard, group in sorted(by_shard.items())
+        ]
+        return LoadReport(
+            mix_name=self.mix_name,
+            n_requests=len(done),
+            errors=sum(1 for outcome in done if outcome.error is not None),
+            duration_seconds=duration,
+            qps=len(done) / duration,
+            p50_ms=p50,
+            p99_ms=p99,
+            shards=shards,
+            outcomes=done,
+        )

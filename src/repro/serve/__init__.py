@@ -29,9 +29,16 @@ closes the repo's train → serve gap:
     decision table wired through the server, plus the
     :meth:`ModelServer.health` / :meth:`ModelServer.ready` operator
     probes (see ``docs/RUNBOOK.md``).
+:mod:`repro.serve.sharding`
+    :class:`~repro.serve.sharding.server.ShardedModelServer` — the same
+    request lifecycle spread over N worker *processes*: consistent-hash
+    routing, shared-memory batch transport, a supervisor that respawns
+    dead workers from the last-known-good snapshot, and atomic
+    hot-swap broadcast (load-tested by :mod:`repro.loadgen`).
 
-Entry points: ``python -m repro serve`` / ``python -m repro predict``
-(CLI) and :meth:`repro.pipeline.stack.AnalyticsStack.serve` (in-process).
+Entry points: ``python -m repro serve [--shards N]`` /
+``python -m repro predict`` / ``python -m repro loadgen`` (CLI) and
+:meth:`repro.pipeline.stack.AnalyticsStack.serve` (in-process).
 """
 
 from .batching import MicroBatcher, ServeRequest, ServerClosed
@@ -47,6 +54,7 @@ from .resilience import (
     RetryPolicy,
 )
 from .server import ModelServer
+from .sharding import ShardedModelServer
 
 __all__ = [
     "ActiveModel",
@@ -64,4 +72,5 @@ __all__ = [
     "RetryPolicy",
     "ServeRequest",
     "ServerClosed",
+    "ShardedModelServer",
 ]

@@ -178,9 +178,18 @@ class PredictionCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none yet)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from cache (0.0 when none yet).
+
+        ``hits`` and ``misses`` are read together *under the entry
+        lock*: a field-by-field read racing a concurrent ``get`` could
+        pair a fresh ``hits`` with a stale ``misses`` (or vice versa)
+        and report a rate that corresponds to no actual moment — the
+        aggregation bug the concurrent-stats test pins down.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> Dict[str, Any]:
         """Consistent snapshot of size and all counters.
@@ -211,7 +220,8 @@ class PredictionCache:
             self._entries.clear()
 
     def __repr__(self) -> str:
+        snapshot = self.stats()
         return (
-            f"PredictionCache(size={len(self)}/{self.maxsize}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"PredictionCache(size={snapshot['size']}/{self.maxsize}, "
+            f"hits={snapshot['hits']}, misses={snapshot['misses']})"
         )

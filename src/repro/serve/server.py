@@ -591,7 +591,13 @@ class ModelServer:
         - ``active_model`` — ``{"name", "version", "stale"}`` of what a
           request would be scored by right now (``version=None`` when
           nothing is resolvable), ``stale=True`` when it is the
-          last-known-good fallback rather than a live resolution.
+          last-known-good fallback rather than a live resolution;
+        - ``shards`` — per-shard status entries (``shard``, ``alive``,
+          ``queue_depth``, ``active_version``).  The single-process
+          server reports its one in-process "shard" so probes read the
+          same shape from both tiers;
+          :meth:`repro.serve.sharding.server.ShardedModelServer.health`
+          fills this with the real fleet.
         """
         depth = self._batcher.depth()
         capacity = self._batcher.max_queue
@@ -639,6 +645,14 @@ class ModelServer:
             "cache": self.cache.stats(),
             "breakers": breakers,
             "active_model": active,
+            "shards": [
+                {
+                    "shard": 0,
+                    "alive": not self._closed,
+                    "queue_depth": depth,
+                    "active_version": active["version"],
+                }
+            ],
         }
 
     def ready(self) -> bool:

@@ -1,0 +1,36 @@
+"""Multi-process sharded serving tier.
+
+Composes four pieces behind the familiar ``ModelServer`` surface:
+
+- :mod:`~repro.serve.sharding.hashing` — seeded consistent-hash ring
+  (stable, bounded-movement routing of cache-keyed requests);
+- :mod:`~repro.serve.sharding.shm` — shared-memory slab channel (row
+  data never crosses the process boundary through pickle);
+- :mod:`~repro.serve.sharding.worker` — the shard process loop with an
+  isolated model snapshot and in-place hot-swap;
+- :mod:`~repro.serve.sharding.supervisor` — spawn/watch/respawn with
+  last-known-good snapshots and atomic swap broadcast;
+- :mod:`~repro.serve.sharding.server` — the
+  :class:`~repro.serve.sharding.server.ShardedModelServer` facade.
+"""
+
+from .hashing import ConsistentHashRing, routing_key
+from .server import ShardedModelServer
+from .shm import ScoreResult, ShardChannel, ShardDead, ShardWorkerError
+from .supervisor import ShardHandle, ShardSupervisor
+from .worker import apply_state_blob, shard_worker_main, state_blob
+
+__all__ = [
+    "ConsistentHashRing",
+    "routing_key",
+    "ShardedModelServer",
+    "ScoreResult",
+    "ShardChannel",
+    "ShardDead",
+    "ShardWorkerError",
+    "ShardHandle",
+    "ShardSupervisor",
+    "apply_state_blob",
+    "shard_worker_main",
+    "state_blob",
+]

@@ -1,0 +1,127 @@
+"""Consistent-hash ring routing cache-keyed requests across shards.
+
+The sharded serving tier routes every request by the *content* of its
+row (method + row bytes), so identical rows always land on the same
+shard — which is what gives each shard-local working set its cache and
+BLAS-warmth affinity.  Plain ``hash(key) % n_shards`` would reshuffle
+almost every key whenever the shard count changes; a consistent-hash
+ring bounds the reshuffle to roughly ``1/N`` of the keyspace (the
+classic Karger construction): each shard owns many pseudo-random
+*points* on a ring, and a key belongs to the first shard point at or
+after the key's own hash.
+
+Determinism matters here as much as in training: the ring is seeded
+(the salt folds in ``seed``), hashes with BLAKE2b (stable across
+processes and Python versions — unlike builtin ``hash``), and spins no
+RNG at all, so a fixed seed and shard count give bit-stable assignment
+on every run and on every machine.  The routing tests assert exactly
+that, plus the bounded-movement property.
+
+Dead shards are handled at lookup time: :meth:`ConsistentHashRing.route`
+takes an optional per-shard liveness mask and walks clockwise past
+points owned by dead shards, so failover re-routes only the keys that
+lived on the dead shard while everyone else stays put.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Optional, Sequence, Tuple
+
+from ... import rng as repro_rng
+
+__all__ = ["ConsistentHashRing", "routing_key"]
+
+#: Ring points per shard.  64 keeps the per-shard load imbalance in the
+#: few-percent range while the whole ring still fits in one cache line
+#: scan (n_shards * 64 sorted ints).
+DEFAULT_REPLICAS = 64
+
+
+def routing_key(method: str, row_bytes: bytes) -> bytes:
+    """Stable routing digest of ``(method, row bytes)``.
+
+    Deliberately excludes the model version (unlike
+    :meth:`~repro.serve.cache.PredictionCache.make_key`): a hot-swap
+    must not reshuffle which shard owns which row.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(method.encode())
+    digest.update(b"\x00")
+    digest.update(row_bytes)
+    return digest.digest()
+
+
+class ConsistentHashRing:
+    """Karger-style consistent hashing over ``n_shards`` virtual nodes.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (ring members).
+    replicas:
+        Virtual points per shard; more points = smoother balance.
+    seed:
+        Folded into every point hash, so two rings with the same
+        ``(n_shards, replicas, seed)`` are identical and a different
+        seed yields an independent (but equally deterministic) layout.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        replicas: int = DEFAULT_REPLICAS,
+        seed: int = repro_rng.REPRO_DEFAULT_SEED,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = int(n_shards)
+        self.replicas = int(replicas)
+        self.seed = int(seed)
+        points: List[Tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                label = f"{self.seed}:{shard}:{replica}".encode()
+                points.append((self._point(label), shard))
+        points.sort()
+        self._hashes = [point for point, _shard in points]
+        self._shards = [shard for _point, shard in points]
+
+    @staticmethod
+    def _point(data: bytes) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(data, digest_size=8).digest(), "big"
+        )
+
+    def route(
+        self, key: bytes, alive: Optional[Sequence[bool]] = None
+    ) -> int:
+        """Shard owning ``key``; skips dead shards when ``alive`` given.
+
+        ``alive`` is a per-shard boolean mask; with every shard dead (or
+        an all-False mask) routing falls back to the primary owner so
+        the caller can surface the failure at dispatch time instead of
+        here.
+        """
+        target = self._point(key)
+        start = bisect.bisect_right(self._hashes, target) % len(self._hashes)
+        if alive is None:
+            return self._shards[start]
+        for offset in range(len(self._shards)):
+            shard = self._shards[(start + offset) % len(self._shards)]
+            if alive[shard]:
+                return shard
+        return self._shards[start]
+
+    def assignment(self, keys: Sequence[bytes]) -> List[int]:
+        """Vector of :meth:`route` results (test/analysis helper)."""
+        return [self.route(key) for key in keys]
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistentHashRing(n_shards={self.n_shards}, "
+            f"replicas={self.replicas}, seed={self.seed})"
+        )

@@ -1,0 +1,103 @@
+"""PredictionCache accounting stays exact under concurrent traffic."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import PredictionCache
+
+
+def _key(i, version="v1"):
+    return PredictionCache.make_key(
+        "predict", version, np.asarray([float(i)])
+    )
+
+
+# ----------------------------------------------------------------------
+# Exactness under concurrency
+# ----------------------------------------------------------------------
+def test_counts_exact_under_concurrent_gets_and_puts():
+    cache = PredictionCache(maxsize=64)
+    n_threads, n_ops = 8, 500
+    barrier = threading.Barrier(n_threads)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(n_ops):
+            key = _key((tid * n_ops + i) % 96)
+            hit, _value = cache.get(key)
+            if not hit:
+                cache.put(key, float(i))
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,))
+        for tid in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == n_threads * n_ops
+    assert stats["inserts"] - stats["evictions"] == stats["size"]
+    assert stats["hit_rate"] == pytest.approx(
+        stats["hits"] / (n_threads * n_ops)
+    )
+
+
+def test_snapshot_invariants_hold_while_traffic_runs():
+    """Every stats() snapshot is internally consistent mid-churn.
+
+    This pins the satellite fix: ``hit_rate`` (and ``stats()``) read
+    hits/misses together under the entry lock, so no snapshot can pair
+    a fresh ``hits`` with a stale ``misses`` and report an impossible
+    rate.
+    """
+    cache = PredictionCache(maxsize=16)
+    stop = threading.Event()
+
+    def churn():
+        i = 0
+        while not stop.is_set():
+            key = _key(i % 40)
+            hit, _value = cache.get(key)
+            if not hit:
+                cache.put(key, i)
+            i += 1
+
+    threads = [threading.Thread(target=churn) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(300):
+            stats = cache.stats()
+            assert 0.0 <= stats["hit_rate"] <= 1.0
+            assert stats["inserts"] - stats["evictions"] == stats["size"]
+            assert 0 <= stats["size"] <= stats["maxsize"]
+            rate = cache.hit_rate
+            assert 0.0 <= rate <= 1.0
+            repr(cache)  # must not race either
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
+# ----------------------------------------------------------------------
+# hit_rate / __repr__ agree with the locked snapshot
+# ----------------------------------------------------------------------
+def test_hit_rate_matches_stats_snapshot():
+    cache = PredictionCache(maxsize=8)
+    cache.put(_key(1), 1.0)
+    for _ in range(3):
+        cache.get(_key(1))
+    cache.get(_key(2))
+    stats = cache.stats()
+    assert cache.hit_rate == stats["hit_rate"] == 0.75
+    assert "hits=3" in repr(cache)
+    assert "misses=1" in repr(cache)
+
+
+def test_hit_rate_zero_before_any_lookup():
+    assert PredictionCache(maxsize=4).hit_rate == 0.0

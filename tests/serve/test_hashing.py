@@ -1,0 +1,93 @@
+"""Consistent-hash ring: determinism, bounded movement, failover."""
+
+import numpy as np
+import pytest
+
+from repro.serve.sharding import ConsistentHashRing, routing_key
+
+
+def _keys(n, seed=3):
+    rng = np.random.default_rng(seed)
+    return [rng.bytes(16) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_fixed_seed_gives_stable_assignment():
+    keys = _keys(500)
+    a = ConsistentHashRing(4, seed=2018).assignment(keys)
+    b = ConsistentHashRing(4, seed=2018).assignment(keys)
+    assert a == b
+
+
+def test_different_seed_gives_different_layout():
+    keys = _keys(500)
+    a = ConsistentHashRing(4, seed=2018).assignment(keys)
+    b = ConsistentHashRing(4, seed=2019).assignment(keys)
+    assert a != b
+
+
+def test_routing_key_is_content_addressed_and_version_free():
+    row = np.arange(6, dtype=np.float64)
+    k1 = routing_key("predict", row.tobytes())
+    k2 = routing_key("predict", row.tobytes())
+    k3 = routing_key("predict_proba", row.tobytes())
+    k4 = routing_key("predict", row[::-1].copy().tobytes())
+    assert k1 == k2
+    assert k1 != k3
+    assert k1 != k4
+
+
+def test_all_shards_receive_traffic():
+    keys = _keys(2000)
+    counts = np.bincount(
+        ConsistentHashRing(4).assignment(keys), minlength=4
+    )
+    assert (counts > 0).all()
+    # 64 virtual points per shard keep imbalance moderate.
+    assert counts.max() / counts.min() < 3.0
+
+
+# ----------------------------------------------------------------------
+# Bounded key movement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_before,n_after", [(2, 3), (4, 5), (4, 8)])
+def test_resize_moves_less_than_two_over_n(n_before, n_after):
+    keys = _keys(2000)
+    before = ConsistentHashRing(n_before).assignment(keys)
+    after = ConsistentHashRing(n_after).assignment(keys)
+    moved = sum(1 for a, b in zip(before, after) if a != b)
+    # Consistent hashing bounds expected movement to ~1 - before/after of
+    # the keyspace; assert the looser 2/N acceptance bound relative to
+    # the *larger* ring.
+    n = max(n_before, n_after)
+    expected_fraction = 1.0 - min(n_before, n_after) / n
+    assert moved / len(keys) < max(2.0 / n, 1.5 * expected_fraction)
+
+
+def test_keys_on_surviving_shards_do_not_move_on_death():
+    ring = ConsistentHashRing(4)
+    keys = _keys(1000)
+    healthy = ring.assignment(keys)
+    alive = [True, True, False, True]
+    for key, owner in zip(keys, healthy):
+        rerouted = ring.route(key, alive=alive)
+        if owner != 2:
+            assert rerouted == owner  # survivors keep their keys
+        else:
+            assert rerouted != 2
+            assert alive[rerouted]
+
+
+def test_all_dead_falls_back_to_primary_owner():
+    ring = ConsistentHashRing(3)
+    key = _keys(1)[0]
+    assert ring.route(key, alive=[False, False, False]) == ring.route(key)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(0)
+    with pytest.raises(ValueError):
+        ConsistentHashRing(2, replicas=0)

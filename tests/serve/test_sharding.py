@@ -1,0 +1,233 @@
+"""Sharded tier: equivalence, chaos recovery, hot-swap, health."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.linear.logistic import LogisticRegression
+from repro.serve import ModelRegistry, ModelServer, ServerClosed
+from repro.serve.sharding import ShardedModelServer
+
+D = 12
+
+
+@pytest.fixture
+def model():
+    return LogisticRegression(D, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def x():
+    return np.random.default_rng(1).normal(size=(96, D))
+
+
+@pytest.fixture
+def server(model):
+    srv = ShardedModelServer(
+        model=model, n_shards=2, monitor_interval=0.02,
+        batch_timeout=0.001,
+    )
+    yield srv
+    srv.close()
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the direct model
+# ----------------------------------------------------------------------
+def test_sharded_labels_bit_identical(server, model, x):
+    got = np.asarray(server.predict_many(x))
+    assert np.array_equal(got, model.predict(x))
+
+
+def test_sharded_probabilities_match(server, model, x):
+    got = np.asarray(server.predict_many(x, method="predict_proba"))
+    np.testing.assert_allclose(got, model.predict_proba(x), atol=1e-12)
+
+
+def test_single_request_paths(server, model, x):
+    assert server.predict(x[0]) == model.predict(x[:1])[0]
+    assert server.predict_proba(x[1]) == pytest.approx(
+        model.predict_proba(x[:2])[1], abs=1e-12
+    )
+
+
+def test_unsupported_method_raises(server, x):
+    with pytest.raises(ValueError, match="does not support"):
+        server.request("transform", x[0])
+
+
+def test_same_row_always_routes_to_same_shard(model, x):
+    srv = ShardedModelServer(
+        model=model, n_shards=2, cache_size=0, monitor_interval=0.02,
+    )
+    try:
+        for _ in range(10):
+            srv.predict(x[0])
+        split = srv.stats()["shard_requests"]
+        active = [shard for shard, n in split.items() if n > 0]
+        assert len(active) == 1  # content-hashed: one owner per row
+    finally:
+        srv.close()
+
+
+# ----------------------------------------------------------------------
+# Chaos: dead workers
+# ----------------------------------------------------------------------
+def test_kill_one_worker_drops_nothing(server, model, x):
+    got1 = np.asarray(server.predict_many(x[:32]))
+    server.supervisor.kill(0)
+    got2 = np.asarray(server.predict_many(x))  # mid-death traffic
+    assert np.array_equal(got1, model.predict(x[:32]))
+    assert np.array_equal(got2, model.predict(x))
+
+
+def test_dead_worker_is_respawned_and_serves_again(server, model, x):
+    server.supervisor.kill(1)
+    assert _wait_for(lambda: server.supervisor.handles[1].alive)
+    assert server.supervisor.handles[1].respawns >= 1
+    got = np.asarray(server.predict_many(x))
+    assert np.array_equal(got, model.predict(x))
+
+
+def test_health_reports_dead_shard_as_degraded(model):
+    # A very slow monitor so the dead worker stays dead while we probe.
+    srv = ShardedModelServer(
+        model=model, n_shards=2, monitor_interval=30.0,
+    )
+    try:
+        assert srv.health()["status"] == "ok"
+        srv.supervisor.kill(0)
+        assert _wait_for(
+            lambda: not srv.supervisor.handles[0].alive
+        )
+        health = srv.health()
+        assert health["status"] == "degraded"
+        assert health["alive_shards"] == 1
+        dead = health["shards"][0]
+        assert dead["alive"] is False
+        assert srv.ready()  # inline fallback still answers
+        # Manual respawn restores full health.
+        assert srv.supervisor.respawn(0)
+        assert _wait_for(lambda: srv.health()["status"] == "ok")
+    finally:
+        srv.close()
+
+
+# ----------------------------------------------------------------------
+# Hot-swap propagation
+# ----------------------------------------------------------------------
+def _registry_with(model):
+    registry = ModelRegistry()
+    registry.register(
+        "m", lambda: LogisticRegression(D, weight_init_std=0.0)
+    )
+    return registry, registry.publish("m", model)
+
+
+def test_publish_reaches_every_worker(model, x):
+    registry, v1 = _registry_with(model)
+    srv = ShardedModelServer(
+        registry=registry, name="m", n_shards=2, monitor_interval=0.02,
+    )
+    try:
+        assert np.array_equal(
+            np.asarray(srv.predict_many(x)), model.predict(x)
+        )
+        other = LogisticRegression(D, rng=np.random.default_rng(7))
+        v2 = registry.publish("m", other)
+        assert v2 != v1
+        got = np.asarray(srv.predict_many(x))
+        assert srv.version == v2
+        assert np.array_equal(got, other.predict(x))
+        for status in srv.supervisor.statuses():
+            assert status["active_version"] == v2
+    finally:
+        srv.close()
+
+
+def test_respawn_uses_last_known_good_version(model, x):
+    registry, _v1 = _registry_with(model)
+    srv = ShardedModelServer(
+        registry=registry, name="m", n_shards=2, monitor_interval=0.02,
+    )
+    try:
+        other = LogisticRegression(D, rng=np.random.default_rng(7))
+        v2 = registry.publish("m", other)
+        srv.hot_swap()
+        srv.supervisor.kill(0)
+        assert _wait_for(
+            lambda: srv.supervisor.handles[0].alive
+            and srv.supervisor.handles[0].respawns >= 1
+        )
+        assert srv.supervisor.statuses()[0]["active_version"] == v2
+        got = np.asarray(srv.predict_many(x))
+        assert np.array_equal(got, other.predict(x))
+    finally:
+        srv.close()
+
+
+def test_hot_swap_requires_registry(server):
+    with pytest.raises(RuntimeError, match="registry"):
+        server.hot_swap()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and introspection
+# ----------------------------------------------------------------------
+def test_close_rejects_new_requests(model, x):
+    srv = ShardedModelServer(model=model, n_shards=2)
+    srv.close()
+    assert srv.closed
+    assert not srv.ready()
+    assert srv.health()["status"] == "closed"
+    with pytest.raises(ServerClosed):
+        srv.predict(x[0])
+    srv.close()  # idempotent
+
+
+def test_health_shape(server):
+    health = server.health()
+    assert health["n_shards"] == 2
+    assert len(health["shards"]) == 2
+    for status in health["shards"]:
+        for key in ("shard", "alive", "queue_depth", "active_version",
+                    "breaker", "respawns", "pid"):
+            assert key in status
+
+
+def test_base_server_health_exposes_shards_key(model):
+    with ModelServer(model=model) as srv:
+        health = srv.health()
+        assert len(health["shards"]) == 1
+        assert health["shards"][0]["alive"] is True
+        assert health["shards"][0]["active_version"] == "v0"
+
+
+def test_stats_per_shard_split_sums_to_dispatched(server, x):
+    server.predict_many(x)
+    stats = server.stats()
+    dispatched = sum(stats["shard_requests"].values())
+    inline = stats["shed"] + stats["deadline_expired"] + stats["rescued"]
+    cache_hits = stats["metrics"]["counters"].get(
+        "serve/cache_hits_total", 0.0
+    )
+    assert dispatched + inline + cache_hits == stats["requests"]
+
+
+def test_constructor_validation(model):
+    with pytest.raises(ValueError, match="exactly one"):
+        ShardedModelServer()
+    with pytest.raises(ValueError, match="n_shards"):
+        ShardedModelServer(model=model, n_shards=0)
+    with pytest.raises(ValueError, match="n_features"):
+        ShardedModelServer(model=object())
