@@ -576,6 +576,160 @@ def _cmd_predict(args) -> None:
 
 
 # ----------------------------------------------------------------------
+# Continuous learning subcommands (repro.online)
+# ----------------------------------------------------------------------
+def _cmd_online_run(args) -> None:
+    """Drive the closed loop over a drifting stream; the CI online smoke.
+
+    Streams labeled batches through the full train–serve–retrain loop —
+    live serving via a :class:`~repro.serve.server.ModelServer`, online
+    EM training, cadence publishing, shadow evaluation, the promotion
+    gate, and registry retention pruning — then fails unless the run
+    published at least one candidate, made at least one promotion
+    decision, dropped zero requests, and (when the stream drifted)
+    recovered live accuracy.
+    """
+    import json
+
+    from .linear.logistic import LogisticRegression
+    from .online import (
+        ContinuousLoop,
+        DecayedGMRegularizer,
+        DriftStream,
+        OnlineTrainer,
+        PromotionPolicy,
+        PublishTriggers,
+        RegistryPublisher,
+        ShadowEvaluator,
+    )
+    from .rng import spawn
+    from .serve import ModelRegistry, ModelServer
+    from .telemetry.metrics import MetricsRegistry
+
+    steps = args.steps or (60 if args.fast else 150)
+    drift_at = args.drift_at if args.drift_at is not None else steps // 3
+    n_features = 12
+    stream = DriftStream(
+        n_features=n_features, batch_size=32, drift_at=drift_at or None
+    )
+    regularizer = DecayedGMRegularizer(
+        n_features, rho=args.rho, warmup_steps=10
+    )
+    model = LogisticRegression(
+        n_features, regularizer=regularizer, rng=spawn(args.chaos_seed, 3)
+    )
+    registry = ModelRegistry(args.registry)
+    registry.register(
+        args.name,
+        lambda: LogisticRegression(n_features, weight_init_std=0.0),
+    )
+    first = registry.publish(args.name, model, activate=True)
+    print(f"published initial {args.name}:{first}")
+
+    tracer = None
+    exporter = None
+    if args.trace_out:
+        exporter = JsonlSpanExporter(path=args.trace_out)
+        tracer = Tracer(exporter=exporter, sample_rate=args.trace_sample)
+        print(f"tracing to {args.trace_out} "
+              f"(sample_rate={args.trace_sample})")
+
+    metrics = MetricsRegistry()
+    trainer = OnlineTrainer(
+        model, lr=0.3, n_reference=32 * steps, metrics=metrics
+    )
+    publisher = RegistryPublisher(
+        registry, args.name,
+        PublishTriggers(every_steps=args.publish_every), metrics=metrics,
+    )
+    shadow = ShadowEvaluator(
+        registry, args.name, fraction=args.shadow_fraction, metrics=metrics,
+    )
+    policy = PromotionPolicy(min_samples=20, metrics=metrics)
+    server = ModelServer(
+        registry=registry,
+        name=args.name,
+        max_batch_size=args.max_batch,
+        workers=args.serve_workers,
+        tracer=tracer,
+    )
+    loop = ContinuousLoop(
+        trainer, publisher, shadow, policy,
+        server=server, metrics=metrics, tracer=tracer,
+    )
+    with server:
+        status = loop.run(stream, steps)
+    pruned = registry.prune(args.name, keep_last=args.keep_last)
+    status["pruned_versions"] = len(pruned)
+    status["drift_at"] = drift_at
+    if exporter is not None:
+        exporter.close()
+
+    print(f"steps={status['steps']} published={status['published_total']} "
+          f"decisions={status['decisions_total']} "
+          f"(promote={status['promotions']} hold={status['holds']} "
+          f"reject={status['rejections']}) rollbacks={status['rollbacks']}")
+    print(f"requests={status['requests_total']} "
+          f"dropped={status['dropped_requests']} "
+          f"live_accuracy={status['live_accuracy']:.3f} "
+          f"active={status['active_version']} "
+          f"last_known_good={status['last_known_good']}")
+    print(f"pruned {len(pruned)} old versions, "
+          f"{len(registry.versions(args.name))} kept")
+    if args.status_out:
+        with open(args.status_out, "w", encoding="utf-8") as handle:
+            json.dump(status, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"status written to {args.status_out}")
+
+    failures = []
+    if status["published_total"] < 1:
+        failures.append("no candidate was published")
+    if status["decisions_total"] < 1:
+        failures.append("no promotion decision was made")
+    if status["dropped_requests"] > 0:
+        failures.append(f"{status['dropped_requests']} requests dropped")
+    if drift_at and status["promotions"] < 1:
+        failures.append("drift scenario completed without a promotion")
+    if drift_at and status["live_accuracy"] < 0.8:
+        failures.append(
+            f"live accuracy did not recover after drift "
+            f"({status['live_accuracy']:.3f} < 0.8)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"online smoke FAILED: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print("online loop smoke OK")
+
+
+def _cmd_online_status(args) -> None:
+    """Render a status JSON written by ``online run --status-out``."""
+    import json
+
+    if not args.status_file:
+        print("online status requires --status-file status.json",
+              file=sys.stderr)
+        raise SystemExit(2)
+    with open(args.status_file, encoding="utf-8") as handle:
+        status = json.load(handle)
+    for key in sorted(status):
+        print(f"{key}: {status[key]}")
+
+
+def _cmd_online(args) -> None:
+    """Route ``online`` to its ``run``/``status`` subaction."""
+    if args.subaction in (None, "run"):
+        _cmd_online_run(args)
+    elif args.subaction == "status":
+        _cmd_online_status(args)
+    else:
+        print(f"unknown online subcommand {args.subaction!r} "
+              "(expected: run, status)", file=sys.stderr)
+        raise SystemExit(2)
+
+
+# ----------------------------------------------------------------------
 # Observability subcommands (repro.telemetry)
 # ----------------------------------------------------------------------
 def _cmd_metrics(args) -> None:
@@ -667,6 +821,7 @@ _SERVE_COMMANDS = {
 _TOOL_COMMANDS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "online": _cmd_online,
 }
 
 _COMMANDS = {
@@ -699,7 +854,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "subaction", nargs="?", default=None,
-        help="trace only: subcommand (summarize)",
+        help="trace: subcommand (summarize); "
+             "online: subcommand (run, status)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -781,6 +937,42 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--proba", action="store_true",
         help="predict only: print probabilities instead of labels",
+    )
+    online = parser.add_argument_group("continuous learning (online only)")
+    online.add_argument(
+        "--steps", type=int, default=None,
+        help="online run: streamed mini-batches to drive "
+             "(default 150, 60 with --fast)",
+    )
+    online.add_argument(
+        "--drift-at", type=int, default=None, metavar="STEP",
+        help="online run: batch index of the distribution shift "
+             "(default steps/3; 0 disables drift)",
+    )
+    online.add_argument(
+        "--rho", type=float, default=0.9,
+        help="online run: decay factor of the online EM statistics",
+    )
+    online.add_argument(
+        "--publish-every", type=int, default=10, metavar="STEPS",
+        help="online run: publisher cadence in trainer steps",
+    )
+    online.add_argument(
+        "--shadow-fraction", type=float, default=0.5, metavar="FRAC",
+        help="online run: fraction of live requests mirrored to the "
+             "shadow candidate",
+    )
+    online.add_argument(
+        "--keep-last", type=int, default=5, metavar="N",
+        help="online run: registry versions retained by the final prune",
+    )
+    online.add_argument(
+        "--status-out", metavar="PATH", default=None,
+        help="online run: write the final loop status as JSON",
+    )
+    online.add_argument(
+        "--status-file", metavar="PATH", default=None,
+        help="online status: status JSON written by 'online run'",
     )
     obs = parser.add_argument_group("observability (serve/metrics/trace)")
     obs.add_argument(

@@ -22,13 +22,20 @@ renormalizing, and expose a switch so the behaviour can be ablated.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
 from .gaussian_mixture import GaussianMixture
 
 __all__ = [
+    "RegularizerEMState",
+    "precisions_from_stats",
+    "mixing_from_stats",
     "update_precisions",
     "update_mixing_coefficients",
+    "merge_plan",
     "merge_similar_components",
     "em_step",
     "gm_loss_terms",
@@ -43,6 +50,118 @@ _LAMBDA_MAX = 1e12
 # Components whose updated mixing coefficient falls below this threshold
 # are pruned (coefficient set to 0) when pruning is enabled.
 _PI_PRUNE_THRESHOLD = 1e-10
+
+
+@dataclass(frozen=True)
+class RegularizerEMState:
+    """Typed snapshot of one regularizer's EM state.
+
+    This is the per-parameter unit of
+    :class:`~repro.optim.trainer.TrainerState`: enough to resume either
+    the batch trainer (``pi``/``lam`` and the refresh counters) or the
+    online trainer (which additionally carries the exponentially decayed
+    sufficient statistics ``resp_sum``/``weighted_sq`` of
+    :mod:`repro.online.em`).  All fields are plain arrays/ints so the
+    snapshot round-trips through JSON and ``.npz`` checkpoints.
+    """
+
+    pi: np.ndarray
+    lam: np.ndarray
+    estep_count: int = 0
+    mstep_count: int = 0
+    resp_sum: Optional[np.ndarray] = None
+    weighted_sq: Optional[np.ndarray] = None
+    em_updates: int = 0
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON form (arrays become lists, ``None`` stays)."""
+        return {
+            "pi": [float(v) for v in np.asarray(self.pi).reshape(-1)],
+            "lam": [float(v) for v in np.asarray(self.lam).reshape(-1)],
+            "estep_count": int(self.estep_count),
+            "mstep_count": int(self.mstep_count),
+            "resp_sum": (
+                None if self.resp_sum is None
+                else [float(v) for v in np.asarray(self.resp_sum).reshape(-1)]
+            ),
+            "weighted_sq": (
+                None if self.weighted_sq is None
+                else [
+                    float(v)
+                    for v in np.asarray(self.weighted_sq).reshape(-1)
+                ]
+            ),
+            "em_updates": int(self.em_updates),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "RegularizerEMState":
+        """Inverse of :meth:`to_jsonable`."""
+        def _opt(key: str) -> Optional[np.ndarray]:
+            value = payload.get(key)
+            return None if value is None else np.asarray(value, dtype=np.float64)
+
+        return cls(
+            pi=np.asarray(payload["pi"], dtype=np.float64),
+            lam=np.asarray(payload["lam"], dtype=np.float64),
+            estep_count=int(payload.get("estep_count", 0)),
+            mstep_count=int(payload.get("mstep_count", 0)),
+            resp_sum=_opt("resp_sum"),
+            weighted_sq=_opt("weighted_sq"),
+            em_updates=int(payload.get("em_updates", 0)),
+        )
+
+
+def precisions_from_stats(
+    resp_sum: np.ndarray,
+    weighted_sq: np.ndarray,
+    a: float,
+    b: float,
+) -> np.ndarray:
+    """Equation (13) evaluated on sufficient statistics.
+
+    The M-step for the precisions only needs two per-component sums:
+    ``resp_sum_k = sum_m r_k(w_m)`` and
+    ``weighted_sq_k = sum_m r_k(w_m) w_m^2``.  Factoring the update this
+    way lets the batch E-step and the online trainer's exponentially
+    decayed running statistics share one M-step implementation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Updated precisions, shape ``(K,)``, clipped to a safe range.
+    """
+    numerator = 2.0 * (a - 1.0) + np.asarray(resp_sum, dtype=np.float64)
+    denominator = 2.0 * b + np.asarray(weighted_sq, dtype=np.float64)
+    lam = numerator / np.maximum(denominator, 1e-300)
+    return np.clip(lam, _LAMBDA_MIN, _LAMBDA_MAX)
+
+
+def mixing_from_stats(
+    resp_sum: np.ndarray,
+    alpha: np.ndarray,
+    prune: bool = True,
+) -> np.ndarray:
+    """Equation (17) evaluated on the responsibility-mass statistic.
+
+    Same sufficient-statistic factoring as :func:`precisions_from_stats`;
+    see :func:`update_mixing_coefficients` for the pruning semantics.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64).reshape(-1)
+    resp_sum = np.asarray(resp_sum, dtype=np.float64).reshape(-1)
+    numerator = resp_sum + (alpha - 1.0)
+    if prune:
+        numerator = np.where(numerator < _PI_PRUNE_THRESHOLD, 0.0, numerator)
+    else:
+        numerator = np.maximum(numerator, _PI_PRUNE_THRESHOLD)
+    total = numerator.sum()
+    if total <= 0.0:
+        # Degenerate case: every component pruned.  Fall back to the raw
+        # responsibility masses, which always form a valid distribution.
+        numerator = np.maximum(resp_sum, _PI_PRUNE_THRESHOLD)
+        total = numerator.sum()
+    # Denominator M + sum(alpha - 1) equals `total` after clamping.
+    return numerator / total
 
 
 def update_precisions(
@@ -71,10 +190,7 @@ def update_precisions(
     w = np.asarray(w, dtype=np.float64).reshape(-1)
     resp_sum = responsibilities.sum(axis=0)
     weighted_sq = responsibilities.T @ (w * w)
-    numerator = 2.0 * (a - 1.0) + resp_sum
-    denominator = 2.0 * b + weighted_sq
-    lam = numerator / np.maximum(denominator, 1e-300)
-    return np.clip(lam, _LAMBDA_MIN, _LAMBDA_MAX)
+    return precisions_from_stats(resp_sum, weighted_sq, a=a, b=b)
 
 
 def update_mixing_coefficients(
@@ -101,22 +217,49 @@ def update_mixing_coefficients(
     numpy.ndarray
         Updated mixing coefficients on the simplex, shape ``(K,)``.
     """
-    alpha = np.asarray(alpha, dtype=np.float64).reshape(-1)
-    n_dims = responsibilities.shape[0]
-    resp_sum = responsibilities.sum(axis=0)
-    numerator = resp_sum + (alpha - 1.0)
-    if prune:
-        numerator = np.where(numerator < _PI_PRUNE_THRESHOLD, 0.0, numerator)
-    else:
-        numerator = np.maximum(numerator, _PI_PRUNE_THRESHOLD)
-    total = numerator.sum()
-    if total <= 0.0:
-        # Degenerate case: every component pruned.  Fall back to the raw
-        # responsibility masses, which always form a valid distribution.
-        numerator = np.maximum(resp_sum, _PI_PRUNE_THRESHOLD)
-        total = numerator.sum()
-    del n_dims  # denominator M + sum(alpha - 1) equals `total` after clamping
-    return numerator / total
+    return mixing_from_stats(
+        responsibilities.sum(axis=0), alpha=alpha, prune=prune
+    )
+
+
+def merge_plan(
+    pi: np.ndarray,
+    lam: np.ndarray,
+    rel_tol: float = 0.02,
+) -> List[List[int]]:
+    """Index groups of components whose precisions have converged together.
+
+    The greedy adjacent-merge walk of :func:`merge_similar_components`,
+    expressed as a *plan*: each returned group lists the indices (into
+    the input arrays) of components that collapse into one, ordered by
+    ascending precision.  The running merged precision is the
+    pi-weighted mean, so the grouping is identical to what
+    :func:`merge_similar_components` applies.  The online EM path uses
+    the plan to merge its decayed sufficient statistics alongside the
+    mixture parameters.
+    """
+    pi = np.asarray(pi, dtype=np.float64).reshape(-1)
+    lam = np.asarray(lam, dtype=np.float64).reshape(-1)
+    order = np.argsort(lam)
+    groups: List[List[int]] = [[int(order[0])]]
+    current_pi = float(pi[order[0]])
+    current_lam = float(lam[order[0]])
+    for idx in order[1:]:
+        lam_k = float(lam[idx])
+        if abs(lam_k - current_lam) <= rel_tol * max(
+            abs(lam_k), abs(current_lam)
+        ):
+            total = current_pi + float(pi[idx])
+            current_lam = (
+                current_pi * current_lam + float(pi[idx]) * lam_k
+            ) / max(total, 1e-300)
+            current_pi = total
+            groups[-1].append(int(idx))
+        else:
+            groups.append([int(idx)])
+            current_pi = float(pi[idx])
+            current_lam = lam_k
+    return groups
 
 
 def merge_similar_components(
@@ -137,21 +280,16 @@ def merge_similar_components(
     Returns the (possibly shorter) ``(pi, lam)`` pair, sorted by
     ascending precision.
     """
-    order = np.argsort(lam)
-    pi, lam = np.asarray(pi)[order], np.asarray(lam)[order]
-    merged_pi = [pi[0]]
-    merged_lam = [lam[0]]
-    for p, lam_k in zip(pi[1:], lam[1:]):
-        last = merged_lam[-1]
-        if abs(lam_k - last) <= rel_tol * max(abs(lam_k), abs(last)):
-            total = merged_pi[-1] + p
-            merged_lam[-1] = (
-                merged_pi[-1] * last + p * lam_k
-            ) / max(total, 1e-300)
-            merged_pi[-1] = total
-        else:
-            merged_pi.append(p)
-            merged_lam.append(lam_k)
+    pi = np.asarray(pi, dtype=np.float64).reshape(-1)
+    lam = np.asarray(lam, dtype=np.float64).reshape(-1)
+    merged_pi = []
+    merged_lam = []
+    for group in merge_plan(pi, lam, rel_tol=rel_tol):
+        total = float(pi[group].sum())
+        merged_pi.append(total)
+        merged_lam.append(
+            float((pi[group] * lam[group]).sum()) / max(total, 1e-300)
+        )
     return np.asarray(merged_pi), np.asarray(merged_lam)
 
 

@@ -23,7 +23,8 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from .em import em_step, gm_loss_terms
+from .em import RegularizerEMState, em_step, gm_loss_terms
+from .gaussian_mixture import GaussianMixture
 from .hyperparams import GMHyperParams
 from .initialization import base_precision_from_weight_init, initialize_mixture
 from .lazy import LazyUpdateSchedule
@@ -206,6 +207,40 @@ class GMRegularizer(Regularizer):
             "estep_count": self._n_estep,
             "mstep_count": self._n_mstep,
         }
+
+    # ------------------------------------------------------------------
+    # Typed EM state snapshot/restore (TrainerState's per-parameter unit)
+    # ------------------------------------------------------------------
+    def em_state(self) -> RegularizerEMState:
+        """Snapshot ``pi``/``lambda`` and the refresh counters.
+
+        This is the sanctioned way to capture a regularizer's EM state —
+        trainers and checkpoint code build
+        :class:`~repro.optim.trainer.TrainerState` from these snapshots
+        instead of reaching into private fields.  Subclasses carrying
+        extra state (the online trainer's decayed sufficient statistics)
+        extend the returned record.
+        """
+        return RegularizerEMState(
+            pi=self.mixture.pi.copy(),
+            lam=self.mixture.lam.copy(),
+            estep_count=self._n_estep,
+            mstep_count=self._n_mstep,
+        )
+
+    def load_em_state(self, state: RegularizerEMState) -> None:
+        """Restore a snapshot taken by :meth:`em_state`.
+
+        The cached ``g_reg`` is invalidated so the next
+        :meth:`prepare` recomputes it under the restored mixture.
+        """
+        self.mixture = GaussianMixture(
+            pi=np.asarray(state.pi, dtype=np.float64),
+            lam=np.asarray(state.lam, dtype=np.float64),
+        )
+        self._n_estep = int(state.estep_count)
+        self._n_mstep = int(state.mstep_count)
+        self._cached_reg_grad = None
 
     # ------------------------------------------------------------------
     # Introspection helpers used by the experiments and tests

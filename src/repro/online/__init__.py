@@ -1,0 +1,47 @@
+"""Closed-loop continuous learning: train, serve, shadow-evaluate, promote.
+
+The batch pipeline (``repro.optim`` training → ``repro.serve`` hot-swap
+serving) covers one deployment; this package closes the loop the
+paper's GEMINI healthcare stack runs in production, where models are
+retrained as new data arrives:
+
+- :class:`~repro.online.em.DecayedGMRegularizer` /
+  :func:`~repro.online.em.online_em_step` — the GM prior's M-step on
+  exponentially decayed sufficient statistics.
+- :class:`~repro.online.trainer.OnlineTrainer` — ``partial_fit``
+  streaming training without an epoch horizon.
+- :class:`~repro.online.publisher.RegistryPublisher` — cadence-driven
+  candidate snapshots into the model registry.
+- :class:`~repro.online.shadow.ShadowEvaluator` — mirrors sampled live
+  traffic to the candidate.
+- :class:`~repro.online.promotion.PromotionPolicy` — promote / hold /
+  reject / roll back, every verdict visible in telemetry.
+- :class:`~repro.online.loop.ContinuousLoop` — the prequential driver
+  tying it all together under live traffic.
+- :class:`~repro.online.stream.DriftStream` — seeded synthetic traffic
+  with a controllable distribution shift, for benchmarks and smokes.
+"""
+
+from .em import DecayedGMRegularizer, OnlineEMState, online_em_step
+from .loop import ContinuousLoop
+from .promotion import PromotionDecision, PromotionPolicy
+from .publisher import PublishTriggers, RegistryPublisher
+from .shadow import ShadowEvaluator, ShadowReport
+from .stream import DriftStream
+from .trainer import OnlineTrainer, StepResult
+
+__all__ = [
+    "OnlineEMState",
+    "online_em_step",
+    "DecayedGMRegularizer",
+    "OnlineTrainer",
+    "StepResult",
+    "PublishTriggers",
+    "RegistryPublisher",
+    "ShadowEvaluator",
+    "ShadowReport",
+    "PromotionDecision",
+    "PromotionPolicy",
+    "ContinuousLoop",
+    "DriftStream",
+]

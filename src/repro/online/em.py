@@ -1,0 +1,310 @@
+"""Online EM for the GM prior: decayed sufficient statistics.
+
+The batch M-step (Equations (13)/(17)) needs only two per-component
+sums over the weight vector — the responsibility mass
+``S0_k = sum_m r_k(w_m)`` and the weighted square sum
+``S1_k = sum_m r_k(w_m) w_m^2``.  :mod:`repro.core.em` already factors
+the M-step through exactly those statistics
+(:func:`~repro.core.em.precisions_from_stats` /
+:func:`~repro.core.em.mixing_from_stats`), so the *online* variant only
+has to change how the statistics are produced: instead of recomputing
+them from scratch each step it maintains an exponentially decayed
+running summary
+
+    S <- rho * S + (1 - rho) * s_t        (first update: S = s_t)
+
+and runs the *identical* M-step code on it.  On stationary weights the
+recursion's fixed point is ``S = s_t``, i.e. the batch statistics —
+which is why the benchmark can require online π/λ to match batch EM
+within ``1e-3`` on stationary data, while under drift the decay keeps
+the prior tracking the moving weight distribution (the same spirit in
+which regularized/streaming EM variants stabilize updates on small
+batches).
+
+:class:`DecayedGMRegularizer` packages the recursion behind the normal
+:class:`~repro.core.gm_regularizer.GMRegularizer` interface, with
+warm-up gating expressed through the existing
+:class:`~repro.core.lazy.LazyUpdateSchedule`: the first
+``warmup_steps`` streaming steps are treated as the schedule's eager
+epochs (every step refreshes), after which the lazy ``Im``/``Ig``
+intervals take over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.em import (
+    RegularizerEMState,
+    merge_plan,
+    mixing_from_stats,
+    precisions_from_stats,
+)
+from ..core.gaussian_mixture import GaussianMixture
+from ..core.gm_regularizer import GMRegularizer
+from ..core.hyperparams import GMHyperParams
+from ..core.lazy import LazyUpdateSchedule
+
+__all__ = ["OnlineEMState", "online_em_step", "DecayedGMRegularizer"]
+
+
+@dataclass(frozen=True)
+class OnlineEMState:
+    """One step of the decayed-statistics recursion, as a value.
+
+    ``resp_sum``/``weighted_sq`` are the running ``S0``/``S1`` aligned
+    with ``mixture``'s components (``None`` before the first update).
+    ``updates`` counts completed :func:`online_em_step` applications.
+    """
+
+    mixture: GaussianMixture
+    resp_sum: Optional[np.ndarray] = None
+    weighted_sq: Optional[np.ndarray] = None
+    updates: int = 0
+
+
+def _blend(
+    running: Optional[np.ndarray], fresh: np.ndarray, rho: float
+) -> np.ndarray:
+    """``rho``-decayed blend; the first observation seeds the summary."""
+    if running is None:
+        return fresh
+    return rho * running + (1.0 - rho) * fresh
+
+
+def online_em_step(
+    state: OnlineEMState,
+    w: np.ndarray,
+    alpha: np.ndarray,
+    a: float,
+    b: float,
+    rho: float = 0.95,
+    prune: bool = True,
+    merge: bool = True,
+    merge_rel_tol: float = 0.02,
+) -> OnlineEMState:
+    """One online E+M step on the GM parameters for the current ``w``.
+
+    Mirrors :func:`repro.core.em.em_step` exactly — same E-step, same
+    stats-based M-step, same prune/merge post-processing — except the
+    M-step consumes the decayed running statistics instead of this
+    step's raw sums.  Pruned components drop their statistics rows;
+    merged components (via :func:`~repro.core.em.merge_plan`) *sum*
+    their statistics, so the summary stays aligned with the mixture as
+    K collapses.
+    """
+    if not 0.0 < rho < 1.0:
+        raise ValueError(f"rho must be in (0, 1), got {rho}")
+    w = np.asarray(w, dtype=np.float64).reshape(-1)
+    mixture = state.mixture
+    resp = mixture.responsibilities(w)
+    s0 = resp.sum(axis=0)
+    s1 = resp.T @ (w * w)
+    resp_sum = _blend(state.resp_sum, s0, rho)
+    weighted_sq = _blend(state.weighted_sq, s1, rho)
+
+    alpha = np.asarray(alpha, dtype=np.float64).reshape(-1)
+    lam = precisions_from_stats(resp_sum, weighted_sq, a=a, b=b)
+    pi = mixing_from_stats(resp_sum, alpha=alpha, prune=prune)
+
+    keep = pi > 0.0
+    if not np.all(keep) and keep.sum() >= 1:
+        pi = pi[keep] / pi[keep].sum()
+        lam = lam[keep]
+        resp_sum = resp_sum[keep]
+        weighted_sq = weighted_sq[keep]
+
+    if merge and pi.size > 1:
+        groups = merge_plan(pi, lam, rel_tol=merge_rel_tol)
+        if len(groups) < pi.size:
+            pi, lam, resp_sum, weighted_sq = _apply_merge(
+                groups, pi, lam, resp_sum, weighted_sq
+            )
+
+    return OnlineEMState(
+        mixture=GaussianMixture(pi=pi, lam=lam),
+        resp_sum=resp_sum,
+        weighted_sq=weighted_sq,
+        updates=state.updates + 1,
+    )
+
+
+def _apply_merge(
+    groups: List[List[int]],
+    pi: np.ndarray,
+    lam: np.ndarray,
+    resp_sum: np.ndarray,
+    weighted_sq: np.ndarray,
+) -> tuple:
+    """Collapse each merge-plan group, summing its statistics rows.
+
+    The merged mixture parameters use the same arithmetic as
+    :func:`~repro.core.em.merge_similar_components` (summed ``pi``,
+    pi-weighted mean ``lambda``) so batch and online paths agree; the
+    statistics of a merged component are the plain sums of its members'
+    (a sum of sums is the merged component's sufficient statistic).
+    """
+    new_pi, new_lam, new_s0, new_s1 = [], [], [], []
+    for group in groups:
+        idx = np.asarray(group, dtype=np.intp)
+        total = float(pi[idx].sum())
+        new_pi.append(total)
+        new_lam.append(float((pi[idx] * lam[idx]).sum()) / max(total, 1e-300))
+        new_s0.append(float(resp_sum[idx].sum()))
+        new_s1.append(float(weighted_sq[idx].sum()))
+    return (
+        np.asarray(new_pi),
+        np.asarray(new_lam),
+        np.asarray(new_s0),
+        np.asarray(new_s1),
+    )
+
+
+class DecayedGMRegularizer(GMRegularizer):
+    """:class:`GMRegularizer` whose M-step runs on decayed statistics.
+
+    Drop-in for the batch regularizer inside any training loop, but
+    built for streams:
+
+    - :meth:`upt_gm_param` applies :func:`online_em_step` — the running
+      ``S0``/``S1`` summary carries memory of past weight snapshots with
+      exponential decay ``rho``, so one noisy mini-batch cannot yank the
+      prior around, yet the prior still tracks drift.
+    - Warm-up gating reuses the lazy schedule: streaming steps below
+      ``warmup_steps`` are mapped to the schedule's eager-epoch regime
+      (refresh every step); afterwards the lazy ``Im``/``Ig`` intervals
+      apply, exactly as in Algorithm 2's post-warm-up phase.
+    - :meth:`em_state`/:meth:`load_em_state` additionally round-trip the
+      running statistics, so a :class:`~repro.optim.trainer.TrainerState`
+      snapshot resumes the stream where it left off.
+    """
+
+    def __init__(
+        self,
+        n_dimensions: int,
+        weight_init_std: float = 0.1,
+        hyperparams: Optional[GMHyperParams] = None,
+        init_method: str = "linear",
+        schedule: Optional[LazyUpdateSchedule] = None,
+        prune_components: bool = True,
+        merge_components: bool = True,
+        rho: float = 0.95,
+        warmup_steps: int = 0,
+    ) -> None:
+        super().__init__(
+            n_dimensions,
+            weight_init_std=weight_init_std,
+            hyperparams=hyperparams,
+            init_method=init_method,
+            schedule=schedule,
+            prune_components=prune_components,
+            merge_components=merge_components,
+        )
+        if not 0.0 < rho < 1.0:
+            raise ValueError(f"rho must be in (0, 1), got {rho}")
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+        if warmup_steps > 0 and self.schedule.eager_epochs < 1:
+            raise ValueError(
+                "warmup_steps > 0 needs a schedule with eager_epochs >= 1 "
+                "(warm-up is expressed as the schedule's eager regime)"
+            )
+        self.rho = float(rho)
+        self.warmup_steps = int(warmup_steps)
+        self._resp_sum: Optional[np.ndarray] = None
+        self._weighted_sq: Optional[np.ndarray] = None
+        self._em_updates = 0
+
+    # ------------------------------------------------------------------
+    # Warm-up gating through the lazy schedule
+    # ------------------------------------------------------------------
+    def _epoch_for(self, iteration: int) -> int:
+        """Map a streaming step onto the schedule's epoch axis.
+
+        Steps inside the warm-up window behave like epoch 0 (eager:
+        refresh every iteration); later steps sit at ``eager_epochs``,
+        the first lazy epoch, so only the ``Im``/``Ig`` intervals fire.
+        """
+        if iteration < self.warmup_steps:
+            return 0
+        return self.schedule.eager_epochs
+
+    def prepare(self, w: np.ndarray, iteration: int) -> None:
+        """E-step with the warm-up window standing in for eager epochs."""
+        self._epoch = self._epoch_for(iteration)
+        super().prepare(w, iteration)
+
+    def update(self, w: np.ndarray, iteration: int) -> None:
+        """M-step with the warm-up window standing in for eager epochs."""
+        self._epoch = self._epoch_for(iteration)
+        super().update(w, iteration)
+
+    # ------------------------------------------------------------------
+    # The decayed M-step
+    # ------------------------------------------------------------------
+    def upt_gm_param(self, w: np.ndarray) -> None:
+        """``uptGMParam()`` on the decayed summary instead of raw sums."""
+        flat = np.asarray(w, dtype=np.float64).reshape(-1)
+        alpha = self._alpha[: self.mixture.n_components]
+        state = online_em_step(
+            OnlineEMState(
+                mixture=self.mixture,
+                resp_sum=self._resp_sum,
+                weighted_sq=self._weighted_sq,
+                updates=self._em_updates,
+            ),
+            flat,
+            alpha=alpha,
+            a=self._a,
+            b=self._b,
+            rho=self.rho,
+            prune=self.prune_components,
+            merge=self.merge_components,
+        )
+        self.mixture = state.mixture
+        self._resp_sum = state.resp_sum
+        self._weighted_sq = state.weighted_sq
+        self._em_updates = state.updates
+        self._n_mstep += 1
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore carrying the running statistics
+    # ------------------------------------------------------------------
+    def em_state(self) -> RegularizerEMState:
+        """Snapshot including the decayed ``S0``/``S1`` summary."""
+        return RegularizerEMState(
+            pi=self.mixture.pi.copy(),
+            lam=self.mixture.lam.copy(),
+            estep_count=self._n_estep,
+            mstep_count=self._n_mstep,
+            resp_sum=None if self._resp_sum is None else self._resp_sum.copy(),
+            weighted_sq=(
+                None if self._weighted_sq is None else self._weighted_sq.copy()
+            ),
+            em_updates=self._em_updates,
+        )
+
+    def load_em_state(self, state: RegularizerEMState) -> None:
+        """Restore mixture *and* running statistics from a snapshot."""
+        super().load_em_state(state)
+        self._resp_sum = (
+            None
+            if state.resp_sum is None
+            else np.asarray(state.resp_sum, dtype=np.float64).reshape(-1)
+        )
+        self._weighted_sq = (
+            None
+            if state.weighted_sq is None
+            else np.asarray(state.weighted_sq, dtype=np.float64).reshape(-1)
+        )
+        self._em_updates = int(state.em_updates)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecayedGMRegularizer(M={self.n_dimensions}, "
+            f"K={self.mixture.n_components}, rho={self.rho}, "
+            f"warmup_steps={self.warmup_steps})"
+        )

@@ -1,0 +1,191 @@
+"""Promotion gate: promote, hold, or reject a shadow-evaluated candidate.
+
+The decision rules are deliberately small and fully observable — every
+call to :meth:`PromotionPolicy.decide` produces a
+:class:`PromotionDecision` **and** emits the same verdict as a
+``promotion_decision`` span event plus ``promotion/*`` counters, so an
+operator (or a test) can reconstruct the decision history from
+telemetry alone, without access to the loop's in-process state.
+
+Rules, in order:
+
+1. Not enough mirrored evidence (``samples < min_samples``) → *hold*.
+2. With labels: candidate beats live by at least ``min_accuracy_gain``
+   → *promote*; candidate trails live by more than
+   ``max_accuracy_drop`` → *reject*; otherwise → *hold* (keep
+   accumulating evidence).
+3. Without labels: agreement at or above ``min_agreement`` → *promote*
+   (the candidate is behaviourally indistinguishable, so swapping is
+   safe); below → *hold*.
+
+Separately, :meth:`check_rollback` watches the live accuracy EWMA
+*after* a promotion: a drop of more than ``max_accuracy_drop`` below
+the accuracy recorded at promotion time demands a rollback to the
+last-known-good version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import start_span
+
+from .shadow import ShadowReport
+
+__all__ = ["PromotionDecision", "PromotionPolicy"]
+
+#: The three verdicts a decision can carry.
+PROMOTE = "promote"
+HOLD = "hold"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    """One gate verdict, with the evidence that produced it."""
+
+    action: str
+    candidate_version: str
+    reason: str
+    step: int
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+
+class PromotionPolicy:
+    """Decision rules over a :class:`~repro.online.shadow.ShadowReport`.
+
+    Parameters
+    ----------
+    min_samples:
+        Mirrored requests required before any promote/reject verdict.
+    min_agreement:
+        Label-free promotion bar on candidate/live agreement.
+    min_accuracy_gain:
+        Labeled promotion bar: candidate accuracy must exceed live by
+        at least this much (0.0 → "at least as good").
+    max_accuracy_drop:
+        Labeled rejection bar, and the post-promotion rollback
+        tolerance on the live accuracy EWMA.
+    metrics:
+        Shared metrics registry for the ``promotion/*`` counters.
+    """
+
+    def __init__(
+        self,
+        min_samples: int = 30,
+        min_agreement: float = 0.9,
+        min_accuracy_gain: float = 0.0,
+        max_accuracy_drop: float = 0.02,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if not 0.0 <= min_agreement <= 1.0:
+            raise ValueError(
+                f"min_agreement must be in [0, 1], got {min_agreement}"
+            )
+        if max_accuracy_drop < 0.0:
+            raise ValueError(
+                f"max_accuracy_drop must be >= 0, got {max_accuracy_drop}"
+            )
+        self.min_samples = int(min_samples)
+        self.min_agreement = float(min_agreement)
+        self.min_accuracy_gain = float(min_accuracy_gain)
+        self.max_accuracy_drop = float(max_accuracy_drop)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def decide(
+        self, report: Optional[ShadowReport], step: int
+    ) -> Optional[PromotionDecision]:
+        """Gate verdict for the current shadow window.
+
+        ``None`` when there is no candidate under evaluation at all;
+        otherwise a :class:`PromotionDecision`, recorded as a
+        ``promotion_decision`` span event and counted per action.
+        """
+        if report is None:
+            return None
+        with start_span(
+            "online/promotion_decide",
+            attributes={"candidate": report.candidate_version, "step": step},
+        ) as span:
+            decision = self._evaluate(report, step)
+            span.event(
+                "promotion_decision",
+                action=decision.action,
+                candidate=decision.candidate_version,
+                reason=decision.reason,
+                step=decision.step,
+                **{
+                    key: value
+                    for key, value in decision.evidence.items()
+                    if value is not None
+                },
+            )
+            self.metrics.counter("promotion/decisions_total").inc()
+            self.metrics.counter(f"promotion/{decision.action}_total").inc()
+            return decision
+
+    def _evaluate(self, report: ShadowReport, step: int) -> PromotionDecision:
+        evidence: Dict[str, Any] = {
+            "samples": report.samples,
+            "agreement": report.agreement,
+            "live_accuracy": report.live_accuracy,
+            "candidate_accuracy": report.candidate_accuracy,
+        }
+
+        def verdict(action: str, reason: str) -> PromotionDecision:
+            return PromotionDecision(
+                action=action,
+                candidate_version=report.candidate_version,
+                reason=reason,
+                step=int(step),
+                evidence=evidence,
+            )
+
+        if report.samples < self.min_samples:
+            return verdict(
+                HOLD, f"insufficient_samples:{report.samples}<{self.min_samples}"
+            )
+        if (
+            report.candidate_accuracy is not None
+            and report.live_accuracy is not None
+        ):
+            gain = report.candidate_accuracy - report.live_accuracy
+            if gain >= self.min_accuracy_gain:
+                return verdict(PROMOTE, f"accuracy_gain:{gain:+.4f}")
+            if gain < -self.max_accuracy_drop:
+                return verdict(REJECT, f"accuracy_drop:{gain:+.4f}")
+            return verdict(HOLD, f"accuracy_inconclusive:{gain:+.4f}")
+        if report.agreement >= self.min_agreement:
+            return verdict(PROMOTE, f"agreement:{report.agreement:.4f}")
+        return verdict(HOLD, f"agreement_low:{report.agreement:.4f}")
+
+    # ------------------------------------------------------------------
+    def check_rollback(
+        self,
+        live_accuracy: Optional[float],
+        accuracy_at_promotion: Optional[float],
+    ) -> bool:
+        """Whether the live accuracy has fallen past the rollback bar.
+
+        Compares the current live accuracy EWMA against the value
+        recorded when the serving version was promoted; a drop larger
+        than ``max_accuracy_drop`` means the promotion has gone bad
+        under real traffic and the loop must reactivate the
+        last-known-good version.
+        """
+        if live_accuracy is None or accuracy_at_promotion is None:
+            return False
+        return (accuracy_at_promotion - live_accuracy) > self.max_accuracy_drop
+
+    def __repr__(self) -> str:
+        return (
+            f"PromotionPolicy(min_samples={self.min_samples}, "
+            f"min_agreement={self.min_agreement}, "
+            f"min_accuracy_gain={self.min_accuracy_gain}, "
+            f"max_accuracy_drop={self.max_accuracy_drop})"
+        )

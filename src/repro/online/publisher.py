@@ -1,0 +1,182 @@
+"""Cadence-driven snapshotting of the live model into the registry.
+
+The trainer mutates its model in place forever; serving wants immutable
+versioned checkpoints.  :class:`RegistryPublisher` is the bridge: on a
+configurable cadence — every ``N`` steps, every ``T`` seconds, or when
+the smoothed loss has moved by more than ``loss_delta`` since the last
+snapshot — it publishes the current parameters through the existing
+:meth:`~repro.serve.registry.ModelRegistry.publish` with
+``activate=False``, so a freshly published **candidate** never touches
+live traffic until the shadow evaluation + promotion gate says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..serve.registry import ModelRegistry
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import start_span
+
+__all__ = ["PublishTriggers", "RegistryPublisher"]
+
+
+@dataclass(frozen=True)
+class PublishTriggers:
+    """When the publisher snapshots; any satisfied trigger fires.
+
+    Attributes
+    ----------
+    every_steps:
+        Publish once at least this many trainer steps have passed since
+        the previous snapshot (``None`` disables).
+    every_seconds:
+        Publish once at least this much wall-clock (on the injected
+        metrics clock) has passed since the previous snapshot.
+    loss_delta:
+        Publish once ``|loss - loss_at_last_publish|`` exceeds this —
+        both "got much better" (worth shipping) and "got much worse"
+        (worth a checkpoint before things drift further).
+    """
+
+    every_steps: Optional[int] = None
+    every_seconds: Optional[float] = None
+    loss_delta: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.every_steps is None
+            and self.every_seconds is None
+            and self.loss_delta is None
+        ):
+            raise ValueError("at least one publish trigger must be set")
+        if self.every_steps is not None and self.every_steps < 1:
+            raise ValueError(
+                f"every_steps must be >= 1, got {self.every_steps}"
+            )
+        if self.every_seconds is not None and self.every_seconds <= 0.0:
+            raise ValueError(
+                f"every_seconds must be > 0, got {self.every_seconds}"
+            )
+        if self.loss_delta is not None and self.loss_delta <= 0.0:
+            raise ValueError(
+                f"loss_delta must be > 0, got {self.loss_delta}"
+            )
+
+
+class RegistryPublisher:
+    """Publish candidate checkpoints of a continuously trained model.
+
+    Parameters
+    ----------
+    registry:
+        Destination :class:`~repro.serve.registry.ModelRegistry`.
+    name:
+        Model name published under.
+    triggers:
+        The :class:`PublishTriggers` cadence.
+    metrics:
+        Metrics registry; its injectable ``clock`` also drives the
+        ``every_seconds`` trigger, keeping tests deterministic.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        name: str,
+        triggers: PublishTriggers,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.triggers = triggers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._last_step = 0
+        self._last_time: Optional[float] = None
+        self._last_loss: Optional[float] = None
+        self._published = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def published_count(self) -> int:
+        """Number of snapshots published so far."""
+        return self._published
+
+    def _fired_trigger(self, step: int, loss: Optional[float]) -> Optional[str]:
+        """Name of the first satisfied trigger, or ``None``."""
+        t = self.triggers
+        if t.every_steps is not None and step - self._last_step >= t.every_steps:
+            return "steps"
+        if t.every_seconds is not None:
+            now = self.metrics.clock()
+            if self._last_time is None:
+                self._last_time = now
+            elif now - self._last_time >= t.every_seconds:
+                return "seconds"
+        if (
+            t.loss_delta is not None
+            and loss is not None
+            and self._last_loss is not None
+            and abs(loss - self._last_loss) >= t.loss_delta
+        ):
+            return "loss_delta"
+        if t.loss_delta is not None and loss is not None and self._last_loss is None:
+            # First observed loss becomes the baseline; no publish yet.
+            self._last_loss = float(loss)
+        return None
+
+    # ------------------------------------------------------------------
+    def maybe_publish(
+        self, model: Any, step: int, loss: Optional[float] = None
+    ) -> Optional[str]:
+        """Publish a candidate if any trigger fires; returns the version.
+
+        Returns ``None`` (and records nothing) when no trigger is due.
+        """
+        reason = self._fired_trigger(step, loss)
+        if reason is None:
+            return None
+        return self.publish(model, step, reason=reason, loss=loss)
+
+    def publish(
+        self,
+        model: Any,
+        step: int,
+        reason: str = "manual",
+        loss: Optional[float] = None,
+    ) -> str:
+        """Unconditionally snapshot ``model`` as a non-active candidate.
+
+        The published metadata records the trigger ``reason``, the
+        trainer step and the loss at publish time — enough to
+        reconstruct the cadence from the registry alone.
+        """
+        with start_span(
+            "online/publish",
+            attributes={"model": self.name, "step": step, "reason": reason},
+        ) as span:
+            version = self.registry.publish(
+                self.name,
+                model,
+                metadata={
+                    "online_step": int(step),
+                    "publish_reason": reason,
+                    **({} if loss is None else {"loss": float(loss)}),
+                },
+                activate=False,
+            )
+            self._last_step = int(step)
+            self._last_time = self.metrics.clock()
+            if loss is not None:
+                self._last_loss = float(loss)
+            self._published += 1
+            self.metrics.counter("online/published_total").inc()
+            span.set_attribute("version", version)
+            return version
+
+    def __repr__(self) -> str:
+        return (
+            f"RegistryPublisher(name={self.name!r}, "
+            f"published={self._published}, triggers={self.triggers})"
+        )

@@ -1,0 +1,127 @@
+"""Synthetic labeled request stream with a controllable distribution shift.
+
+The continuous-learning benchmark needs traffic whose ground truth
+*changes* mid-run: a separable logistic task whose true weight vector
+flips sign at a chosen batch index, so a model trained before the drift
+scores near chance after it — until the online loop retrains, publishes
+and promotes a candidate.  :class:`DriftStream` generates exactly that,
+deterministically (seeded via :func:`repro.rng.spawn`), so every run of
+the benchmark and the CI smoke replays the same stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..rng import REPRO_DEFAULT_SEED, spawn
+
+__all__ = ["DriftStream"]
+
+#: Component key namespacing this module's generators under `spawn`
+#: (sub-keys: 0 = true weights, 1 = features/noise, 2 = holdouts).
+_STREAM_KEY = 31
+
+
+class DriftStream:
+    """Seeded stream of ``(x, y)`` mini-batches with optional drift.
+
+    Labels follow a noiseless linear rule ``y = [x @ w_true > 0]``; at
+    batch index ``drift_at`` the true weights flip sign, inverting
+    every label decision — the most adversarial shift a linear model
+    can face, since the pre-drift optimum is the post-drift pessimum.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality.
+    batch_size:
+        Rows per generated batch.
+    drift_at:
+        Batch index at which the flip happens (``None``: stationary).
+    flip_fraction:
+        Fraction of label noise: each label flips independently with
+        this probability (0.0 keeps the task noiseless).
+    seed:
+        Root seed for the feature/noise streams.
+    """
+
+    def __init__(
+        self,
+        n_features: int = 16,
+        batch_size: int = 32,
+        drift_at: Optional[int] = None,
+        flip_fraction: float = 0.0,
+        seed: int = REPRO_DEFAULT_SEED,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if drift_at is not None and drift_at < 0:
+            raise ValueError(f"drift_at must be >= 0, got {drift_at}")
+        if not 0.0 <= flip_fraction < 0.5:
+            raise ValueError(
+                f"flip_fraction must be in [0, 0.5), got {flip_fraction}"
+            )
+        self.n_features = int(n_features)
+        self.batch_size = int(batch_size)
+        self.drift_at = drift_at
+        self.flip_fraction = float(flip_fraction)
+        self.seed = int(seed)
+        weights_rng = spawn(seed, _STREAM_KEY, 0)
+        self._w_before = weights_rng.normal(0.0, 1.0, size=self.n_features)
+        self._w_after = -self._w_before
+        self._data_rng = spawn(seed, _STREAM_KEY, 1)
+        self._batch_index = 0
+
+    # ------------------------------------------------------------------
+    def true_weights(self, batch_index: int) -> np.ndarray:
+        """Ground-truth weights governing labels at ``batch_index``."""
+        if self.drift_at is not None and batch_index >= self.drift_at:
+            return self._w_after
+        return self._w_before
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate the next ``(x, y)`` mini-batch and advance."""
+        w = self.true_weights(self._batch_index)
+        x = self._data_rng.normal(0.0, 1.0, size=(self.batch_size, self.n_features))
+        y = (x @ w > 0.0).astype(np.int64)
+        if self.flip_fraction > 0.0:
+            flips = self._data_rng.random(self.batch_size) < self.flip_fraction
+            y = np.where(flips, 1 - y, y)
+        self._batch_index += 1
+        return x, y
+
+    def batches(self, n: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield the next ``n`` batches."""
+        for _ in range(n):
+            yield self.next_batch()
+
+    def holdout(
+        self, n_samples: int, batch_index: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """A fresh evaluation set from the regime at ``batch_index``.
+
+        Drawn from an independent generator so it never perturbs the
+        stream itself; defaults to the *current* regime.
+        """
+        index = self._batch_index if batch_index is None else int(batch_index)
+        w = self.true_weights(index)
+        rng = spawn(self.seed, _STREAM_KEY, 2, index)
+        x = rng.normal(0.0, 1.0, size=(int(n_samples), self.n_features))
+        y = (x @ w > 0.0).astype(np.int64)
+        return x, y
+
+    @property
+    def batch_index(self) -> int:
+        """Index of the next batch to be generated."""
+        return self._batch_index
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftStream(n_features={self.n_features}, "
+            f"batch_size={self.batch_size}, drift_at={self.drift_at}, "
+            f"at_batch={self._batch_index})"
+        )

@@ -39,10 +39,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..core.em import RegularizerEMState
 from ..core.regularizers import Regularizer
 from ..rng import default_generator
 from ..telemetry.events import (
@@ -58,7 +59,16 @@ from ..telemetry.trace import start_span
 from .schedules import ConstantLR, LRSchedule
 from .sgd import SGD
 
-__all__ = ["Parameter", "TrainableModel", "EpochRecord", "TrainingHistory", "Trainer"]
+__all__ = [
+    "Parameter",
+    "TrainableModel",
+    "EpochRecord",
+    "TrainingHistory",
+    "TrainerState",
+    "capture_trainer_state",
+    "restore_trainer_state",
+    "Trainer",
+]
 
 
 @dataclass
@@ -130,6 +140,77 @@ class TrainingHistory:
     def cumulative_times(self) -> np.ndarray:
         """Cumulative wall-clock seconds after each epoch (Fig. 5/7 series)."""
         return np.asarray([r.cumulative_seconds for r in self.records])
+
+
+@dataclass(frozen=True)
+class TrainerState:
+    """Typed snapshot of a trainer's resumable EM state.
+
+    Holds the global iteration counter plus, per regularized parameter,
+    a :class:`~repro.core.em.RegularizerEMState` (``pi``/``lambda``, the
+    refresh counters and — for online trainers — the decayed sufficient
+    statistics).  Both :class:`Trainer` and
+    :class:`~repro.online.trainer.OnlineTrainer` produce and consume
+    this one type through :func:`capture_trainer_state` /
+    :func:`restore_trainer_state`, so checkpoint restores and
+    batch-to-online handoffs share a single code path instead of
+    reaching into private regularizer fields.
+    """
+
+    iteration: int
+    em: Dict[str, RegularizerEMState]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON form for checkpoint sidecar files."""
+        return {
+            "iteration": int(self.iteration),
+            "em": {
+                name: state.to_jsonable() for name, state in self.em.items()
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "TrainerState":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            iteration=int(payload["iteration"]),
+            em={
+                name: RegularizerEMState.from_jsonable(state)
+                for name, state in payload.get("em", {}).items()
+            },
+        )
+
+
+def capture_trainer_state(model: TrainableModel, iteration: int) -> TrainerState:
+    """Snapshot every regularizer's EM state into a :class:`TrainerState`.
+
+    Parameters without a regularizer (or with one that does not expose
+    ``em_state()``, e.g. the fixed-form baselines) are skipped — there
+    is nothing EM-resumable about them.
+    """
+    em: Dict[str, RegularizerEMState] = {}
+    for param in model.parameters():
+        snapshot = getattr(param.regularizer, "em_state", None)
+        if callable(snapshot):
+            em[param.name] = snapshot()
+    return TrainerState(iteration=int(iteration), em=em)
+
+
+def restore_trainer_state(model: TrainableModel, state: TrainerState) -> None:
+    """Load a :class:`TrainerState` back into the model's regularizers.
+
+    Parameter names present in the snapshot but absent from the model
+    (or vice versa) are ignored, mirroring the lenient ``strict=False``
+    checkpoint semantics: restoring a partial snapshot resumes what it
+    can.
+    """
+    for param in model.parameters():
+        snapshot = state.em.get(param.name)
+        if snapshot is None:
+            continue
+        restore = getattr(param.regularizer, "load_em_state", None)
+        if callable(restore):
+            restore(snapshot)
 
 
 #: The Algorithm 2 phases, timed separately as ``phase/<name>``.
@@ -366,6 +447,25 @@ class Trainer:
                     break
         cbs.on_train_end(history, ctx)
         return history
+
+    # ------------------------------------------------------------------
+    def state(self) -> TrainerState:
+        """Snapshot the trainer's resumable EM state (see :class:`TrainerState`).
+
+        Taken after :meth:`fit` this is the final EM state — the handoff
+        an :class:`~repro.online.trainer.OnlineTrainer` resumes from.
+        """
+        return capture_trainer_state(self.model, self._iteration)
+
+    def load_state(self, state: TrainerState) -> None:
+        """Resume from a :class:`TrainerState` snapshot.
+
+        Restores every regularizer's ``pi``/``lambda`` and the global
+        iteration counter, so a subsequent :meth:`fit` continues the
+        lazy-update schedule instead of restarting it.
+        """
+        restore_trainer_state(self.model, state)
+        self._iteration = int(state.iteration)
 
     # ------------------------------------------------------------------
     def _record_em_totals(self, params: List[Parameter]) -> None:

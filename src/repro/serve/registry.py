@@ -96,6 +96,22 @@ def _default_factory_from_metadata(metadata: Dict[str, Any]) -> ModelFactory:
     )
 
 
+def _next_version_number(versions: List[str]) -> int:
+    """Successor of the highest published version number.
+
+    Derived from the *maximum* rather than the list length so that
+    numbering keeps advancing monotonically after :meth:`ModelRegistry.prune`
+    removes old entries — ``len + 1`` would collide with a survivor.
+    """
+    highest = 0
+    for version in versions:
+        try:
+            highest = max(highest, int(version.lstrip("v")))
+        except ValueError:
+            continue
+    return highest + 1
+
+
 class ModelRegistry:
     """Load, version-track and hot-swap ``parameters()`` model checkpoints.
 
@@ -130,6 +146,9 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self._factories: Dict[str, ModelFactory] = {}
         self._live: Dict[str, ActiveModel] = {}
+        # Previous active version per model — the rollback target the
+        # continuous-learning loop reactivates and prune() protects.
+        self._last_known_good: Dict[str, str] = {}
         # In-memory backend: name -> version -> (state dict, metadata).
         self._memory: Dict[str, Dict[str, Any]] = {}
         if root is not None:
@@ -245,7 +264,7 @@ class ModelRegistry:
 
         with self._lock:
             manifest = self._read_manifest(name)
-            version = f"v{len(manifest['versions']) + 1:04d}"
+            version = f"v{_next_version_number(manifest['versions']):04d}"
             if self.root is None:
                 slot = self._memory.setdefault(
                     name, {"versions": {}, "active": None}
@@ -274,6 +293,9 @@ class ModelRegistry:
                 # factory — e.g. ad-hoc deep networks — can still be served).
                 # A deep copy keeps the live snapshot isolated from any
                 # further training the caller does on `model`.
+                previous = self._live.get(name)
+                if previous is not None and previous.version != version:
+                    self._last_known_good[name] = previous.version
                 self._live[name] = ActiveModel(
                     name, version, copy.deepcopy(model), dict(meta)
                 )
@@ -358,9 +380,76 @@ class ModelRegistry:
             if version not in manifest["versions"]:
                 raise KeyError(f"unknown checkpoint {name}:{version}")
             self._write_manifest_locked(name, {**manifest, "active": version})
+            previous = self._live.get(name)
+            if previous is not None and previous.version != version:
+                self._last_known_good[name] = previous.version
             self._live[name] = snapshot
         add_event("model_activated", model=name, version=version)
         return snapshot
+
+    def last_known_good(self, name: str) -> Optional[str]:
+        """Version that was live before the current one (rollback target)."""
+        with self._lock:
+            return self._last_known_good.get(name)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(
+        self,
+        name: str,
+        keep_last: int,
+        protect: Optional[List[str]] = None,
+    ) -> List[str]:
+        """Delete old versions of ``name``, keeping the newest ``keep_last``.
+
+        Continuous publishing makes version directories grow without
+        bound; this trims the history while *never* removing the active
+        version, the last-known-good version (the loop's rollback
+        target), or anything in ``protect``.  Protected versions do not
+        count against ``keep_last``.  Returns the versions removed,
+        oldest first.
+        """
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        removed: List[str] = []
+        with self._lock:
+            manifest = self._read_manifest(name)
+            versions = list(manifest["versions"])
+            protected = {
+                version
+                for version in (
+                    manifest.get("active"),
+                    self._last_known_good.get(name),
+                    *(protect or ()),
+                )
+                if version is not None
+            }
+            prunable = [v for v in versions if v not in protected]
+            removed = prunable[: max(0, len(prunable) - keep_last)]
+            if not removed:
+                return []
+            survivors = [v for v in versions if v not in removed]
+            if self.root is None:
+                slot = self._memory.get(name, {})
+                for version in removed:
+                    slot.get("versions", {}).pop(version, None)
+            else:
+                model_dir = self._model_dir(name)
+                for version in removed:
+                    for suffix in (".npz", ".meta.json"):
+                        try:
+                            os.remove(os.path.join(model_dir, version + suffix))
+                        except FileNotFoundError:
+                            pass
+            self._write_manifest_locked(
+                name, {**manifest, "versions": survivors}
+            )
+        add_event(
+            "registry_pruned", model=name, removed=list(removed),
+            kept=len(survivors),
+        )
+        return removed
 
     def active_version(self, name: str) -> Optional[str]:
         """Currently active version string (``None`` when nothing served)."""

@@ -4,7 +4,8 @@ The Fig. 5-7 reproduction reads *phase-attributed* timings out of
 :class:`repro.telemetry.metrics.MetricsRegistry` snapshots, and the
 serving benchmarks read their QPS/latency numbers from the same place.
 That only works if every hot path plays by three rules — checked here
-for the ``repro.serve`` and ``repro.optim`` packages:
+for the ``repro.serve``, ``repro.optim`` and ``repro.online``
+packages:
 
 - **no registry internals**: touching ``_counters`` / ``_gauges`` /
   ``_histograms`` / ``_timers`` directly bypasses the kind check and
@@ -19,16 +20,19 @@ for the ``repro.serve`` and ``repro.optim`` packages:
   fake clock instead of sleeping.  (``time.monotonic`` is allowed —
   scheduling waits are not measurements.)
 
-A fourth rule covers tracing, for ``repro.serve`` only:
+A fourth rule covers tracing, for ``repro.serve`` and
+``repro.online``:
 
-- **no invisible entry points**: every public serving entry-point
-  method (``request``, ``predict``, ``predict_proba``,
-  ``decision_function``, ``predict_many``) must either open a span
-  (any call whose name ends in ``start_span`` — directly or via a
-  helper like ``self._start_span``) or visibly delegate to another
-  entry point on ``self`` that does.  Otherwise requests through that
-  method never appear in trace logs and ``repro trace summarize``
-  under-reports the serving path.
+- **no invisible entry points**: every public entry-point method
+  (serving: ``request``, ``predict``, ``predict_proba``,
+  ``decision_function``, ``predict_many``; continuous learning:
+  ``partial_fit``, ``publish``, ``maybe_publish``, ``observe``,
+  ``decide``, ``step``, ``run``) must either open a span (any call
+  whose name ends in ``start_span`` — directly or via a helper like
+  ``self._start_span``) or visibly delegate to another entry point on
+  ``self`` that does.  Otherwise requests — or train/publish/promote
+  decisions — through that method never appear in trace logs, and the
+  promotion history stops being reconstructable from telemetry.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from .rng import _dotted_name
 
 __all__ = ["TelemetryCoverageRule"]
 
-_SCOPED_PACKAGES = ("repro.serve", "repro.optim")
+_SCOPED_PACKAGES = ("repro.serve", "repro.optim", "repro.online")
 
 _REGISTRY_INTERNALS = frozenset(
     {"_counters", "_gauges", "_histograms", "_timers"}
@@ -59,8 +63,17 @@ _SERVE_ENTRY_POINTS = frozenset(
      "predict_many"}
 )
 
+# Continuous-learning entry points: the train/publish/shadow/promote
+# surface whose span events make the decision history reconstructable.
+_ONLINE_ENTRY_POINTS = frozenset(
+    {"partial_fit", "publish", "maybe_publish", "observe", "decide",
+     "step", "run"}
+)
 
-def _opens_span_or_delegates(func: ast.FunctionDef) -> bool:
+
+def _opens_span_or_delegates(
+    func: ast.FunctionDef, entry_points: frozenset
+) -> bool:
     """True if ``func`` starts a span or calls a sibling entry point."""
     for node in ast.walk(func):
         if not isinstance(node, ast.Call):
@@ -72,7 +85,7 @@ def _opens_span_or_delegates(func: ast.FunctionDef) -> bool:
         if tail.endswith("start_span"):
             return True
         if (
-            tail in _SERVE_ENTRY_POINTS
+            tail in entry_points
             and tail != func.name
             and dotted == f"self.{tail}"
         ):
@@ -91,7 +104,13 @@ class TelemetryCoverageRule(Rule):
         if not ctx.in_package(*_SCOPED_PACKAGES):
             return
         if ctx.in_package("repro.serve"):
-            yield from self._check_span_coverage(ctx)
+            yield from self._check_span_coverage(
+                ctx, _SERVE_ENTRY_POINTS, "serving"
+            )
+        if ctx.in_package("repro.online"):
+            yield from self._check_span_coverage(
+                ctx, _ONLINE_ENTRY_POINTS, "continuous-learning"
+            )
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Attribute):
                 if node.attr in _REGISTRY_INTERNALS:
@@ -129,8 +148,10 @@ class TelemetryCoverageRule(Rule):
                         "they appear in snapshot() and the BENCH exports",
                     )
 
-    def _check_span_coverage(self, ctx: LintContext) -> Iterator[Finding]:
-        """Public serving entry points must open (or delegate to) a span."""
+    def _check_span_coverage(
+        self, ctx: LintContext, entry_points: frozenset, kind: str
+    ) -> Iterator[Finding]:
+        """Public entry points must open (or delegate to) a span."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -139,14 +160,14 @@ class TelemetryCoverageRule(Rule):
             for item in node.body:
                 if not isinstance(item, ast.FunctionDef):
                     continue
-                if item.name not in _SERVE_ENTRY_POINTS:
+                if item.name not in entry_points:
                     continue
-                if _opens_span_or_delegates(item):
+                if _opens_span_or_delegates(item, entry_points):
                     continue
                 yield self.finding(
                     ctx,
                     item,
-                    f"serving entry point `{node.name}.{item.name}` opens "
+                    f"{kind} entry point `{node.name}.{item.name}` opens "
                     "no span: call start_span (directly or via a helper) "
                     "or delegate to an entry point that does, so requests "
                     "stay visible to trace logs",

@@ -1,0 +1,206 @@
+"""ContinuousLoop: drift recovery, rollback and telemetry reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.linear.logistic import LogisticRegression
+from repro.online import (
+    ContinuousLoop,
+    DecayedGMRegularizer,
+    DriftStream,
+    OnlineTrainer,
+    PromotionPolicy,
+    PublishTriggers,
+    RegistryPublisher,
+    ShadowEvaluator,
+)
+from repro.online.promotion import PROMOTE
+from repro.serve import ModelRegistry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+N_FEATURES = 8
+NAME = "loop-model"
+
+
+def build_loop(
+    stream_seed=17,
+    drift_at=20,
+    tracer=None,
+    server=None,
+    fraction=0.5,
+    publish_every=5,
+):
+    stream = DriftStream(
+        n_features=N_FEATURES, batch_size=32, drift_at=drift_at, seed=stream_seed
+    )
+    model = LogisticRegression(
+        N_FEATURES,
+        regularizer=DecayedGMRegularizer(
+            N_FEATURES, rho=0.9, warmup_steps=5
+        ),
+        rng=np.random.default_rng(2),
+    )
+    registry = ModelRegistry()
+    registry.register(
+        NAME, lambda: LogisticRegression(N_FEATURES, weight_init_std=0.0)
+    )
+    registry.publish(NAME, model, activate=True)
+
+    metrics = MetricsRegistry()
+    trainer = OnlineTrainer(model, lr=0.4, n_reference=1024, metrics=metrics)
+    publisher = RegistryPublisher(
+        registry, NAME, PublishTriggers(every_steps=publish_every),
+        metrics=metrics,
+    )
+    shadow = ShadowEvaluator(registry, NAME, fraction=fraction, metrics=metrics)
+    policy = PromotionPolicy(min_samples=20, metrics=metrics)
+    loop = ContinuousLoop(
+        trainer, publisher, shadow, policy,
+        server=server, metrics=metrics, tracer=tracer,
+    )
+    return loop, stream, registry, metrics
+
+
+class TestDriftRecovery:
+    def test_loop_publishes_promotes_and_drops_nothing(self):
+        loop, stream, registry, _ = build_loop()
+        status = loop.run(stream, steps=60)
+        assert status["published_total"] >= 1
+        assert status["promotions"] >= 1
+        assert status["dropped_requests"] == 0
+        assert status["requests_total"] == 60 * 32
+        assert status["answers_total"] == status["requests_total"]
+        # The promoted model has recovered on the post-drift regime.
+        x_eval, y_eval = stream.holdout(500)
+        live = registry.active(NAME).model
+        accuracy = float(np.mean(live.predict(x_eval) == y_eval))
+        assert accuracy > 0.85
+        assert status["live_accuracy"] > 0.8
+
+    def test_step_summary_shape(self):
+        loop, stream, _, _ = build_loop()
+        summary = loop.step(*stream.next_batch())
+        assert summary["step"] == 0
+        assert 0.0 <= summary["batch_accuracy"] <= 1.0
+        assert summary["active_version"] == "v0001"
+        assert loop.live_accuracy == summary["live_accuracy"]
+
+    def test_run_validates_steps(self):
+        loop, stream, _, _ = build_loop()
+        with pytest.raises(ValueError, match="steps"):
+            loop.run(stream, steps=0)
+
+    def test_promotion_broadcasts_hot_swap(self):
+        class FakeShardedServer:
+            def __init__(self, registry):
+                self.registry = registry
+                self.swaps = []
+
+            def predict_many(self, x):
+                live = self.registry.active(NAME)
+                return list(live.model.predict(np.asarray(x)))
+
+            def hot_swap(self, version):
+                self.swaps.append(version)
+
+        loop, stream, registry, _ = build_loop(server=None)
+        server = FakeShardedServer(registry)
+        loop.server = server
+        loop.run(stream, steps=40)
+        promoted = [
+            decision.candidate_version
+            for decision in loop.decisions
+            if decision.action == PROMOTE
+        ]
+        assert promoted
+        # Every promotion (and any rollback) reached the sharded tier.
+        rollback_targets = [record["to"] for record in loop.rollbacks]
+        assert set(server.swaps) == set(promoted) | set(rollback_targets)
+        assert server.swaps[0] == promoted[0]
+
+
+class TestRollback:
+    def test_live_accuracy_collapse_rolls_back_to_last_known_good(self):
+        loop, stream, registry, metrics = build_loop(drift_at=10_000)
+        # Establish v0002 as active so v0001 becomes last-known-good.
+        registry.publish(
+            NAME,
+            LogisticRegression(N_FEATURES, weight_init_std=0.0),
+            activate=True,
+        )
+        assert registry.last_known_good(NAME) == "v0001"
+        # Pretend v0002 was promoted while accuracy was excellent; the
+        # zero-weight model then collapses the live EWMA.
+        loop._accuracy_at_promotion = 0.99
+        rolled = False
+        for x, y in stream.batches(10):
+            rolled = loop.step(x, y)["rolled_back"] or rolled
+            if rolled:
+                break
+        assert rolled
+        assert len(loop.rollbacks) == 1
+        record = loop.rollbacks[0]
+        assert record["from"] == "v0002"
+        assert record["to"] == "v0001"
+        assert registry.active_version(NAME) == "v0001"
+        # Disarmed until the next promotion.
+        assert loop._accuracy_at_promotion is None
+        assert metrics.counter("online/rollbacks_total").value == 1
+
+
+class TestTelemetryReconstruction:
+    """The decision history is recoverable from the trace buffer alone."""
+
+    def test_decisions_rebuilt_from_span_events_match_loop_state(self):
+        tracer = Tracer()
+        loop, stream, _, metrics = build_loop(tracer=tracer)
+        loop.run(stream, steps=50)
+        assert loop.decisions  # the run actually decided things
+
+        spans = tracer.buffer.spans()
+        decision_events = [
+            event
+            for span in spans
+            if span["name"] == "online/promotion_decide"
+            for event in span["events"]
+            if event["name"] == "promotion_decision"
+        ]
+        rebuilt = [
+            (event["action"], event["candidate"], event["reason"], event["step"])
+            for event in decision_events
+        ]
+        expected = [
+            (
+                decision.action,
+                decision.candidate_version,
+                decision.reason,
+                decision.step,
+            )
+            for decision in loop.decisions
+        ]
+        assert rebuilt == expected
+
+        # Counters corroborate the same history.
+        assert metrics.counter("promotion/decisions_total").value == len(
+            loop.decisions
+        )
+        promote_count = sum(
+            1 for decision in loop.decisions if decision.action == PROMOTE
+        )
+        assert (
+            metrics.counter("online/promotions_total").value == promote_count
+        )
+
+        # Rollbacks, too, are span events.
+        rollback_events = [
+            event
+            for span in spans
+            if span["name"] == "online/rollback"
+            for event in span["events"]
+            if event["name"] == "rollback"
+        ]
+        assert len(rollback_events) == len(loop.rollbacks)
+        for event, record in zip(rollback_events, loop.rollbacks):
+            assert event["from"] == record["from"]
+            assert event["to"] == record["to"]

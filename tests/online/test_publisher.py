@@ -1,0 +1,151 @@
+"""RegistryPublisher: cadence triggers and candidate (non-active) publishes."""
+
+import numpy as np
+import pytest
+
+from repro.linear.logistic import LogisticRegression
+from repro.online import PublishTriggers, RegistryPublisher
+from repro.serve import ModelRegistry
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_registry(name="stream-model", d=6):
+    registry = ModelRegistry()
+    registry.register(name, lambda: LogisticRegression(d, weight_init_std=0.0))
+    return registry
+
+
+def make_model(d=6, seed=0):
+    return LogisticRegression(d, rng=np.random.default_rng(seed))
+
+
+class TestPublishTriggers:
+    def test_at_least_one_trigger_required(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PublishTriggers()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"every_steps": 0},
+            {"every_seconds": 0.0},
+            {"loss_delta": 0.0},
+            {"loss_delta": -0.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PublishTriggers(**kwargs)
+
+
+class TestStepsTrigger:
+    def test_publishes_every_n_steps(self):
+        registry = make_registry()
+        publisher = RegistryPublisher(
+            registry, "stream-model", PublishTriggers(every_steps=3)
+        )
+        model = make_model()
+        assert publisher.maybe_publish(model, 1) is None
+        assert publisher.maybe_publish(model, 2) is None
+        version = publisher.maybe_publish(model, 3)
+        assert version is not None
+        # Cadence resets from the publish step.
+        assert publisher.maybe_publish(model, 4) is None
+        assert publisher.maybe_publish(model, 6) is not None
+        assert publisher.published_count == 2
+
+    def test_candidates_are_never_activated(self):
+        registry = make_registry()
+        live = registry.publish("stream-model", make_model(seed=1), activate=True)
+        publisher = RegistryPublisher(
+            registry, "stream-model", PublishTriggers(every_steps=1)
+        )
+        candidate = publisher.maybe_publish(make_model(seed=2), 1)
+        assert candidate is not None
+        assert candidate != live
+        assert registry.active_version("stream-model") == live
+
+
+class TestSecondsTrigger:
+    def test_publishes_after_interval_on_injected_clock(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry(clock=clock)
+        registry = make_registry()
+        publisher = RegistryPublisher(
+            registry,
+            "stream-model",
+            PublishTriggers(every_seconds=10.0),
+            metrics=metrics,
+        )
+        model = make_model()
+        # First call seeds the baseline timestamp; no publish.
+        assert publisher.maybe_publish(model, 1) is None
+        clock.advance(5.0)
+        assert publisher.maybe_publish(model, 2) is None
+        clock.advance(6.0)
+        assert publisher.maybe_publish(model, 3) is not None
+        # Baseline resets at publish time.
+        clock.advance(5.0)
+        assert publisher.maybe_publish(model, 4) is None
+
+
+class TestLossDeltaTrigger:
+    def test_first_loss_is_baseline_then_delta_fires(self):
+        registry = make_registry()
+        publisher = RegistryPublisher(
+            registry, "stream-model", PublishTriggers(loss_delta=0.1)
+        )
+        model = make_model()
+        assert publisher.maybe_publish(model, 1, loss=0.7) is None
+        assert publisher.maybe_publish(model, 2, loss=0.65) is None
+        assert publisher.maybe_publish(model, 3, loss=0.55) is not None
+        # Improvement *and* regression both trip the trigger.
+        assert publisher.maybe_publish(model, 4, loss=0.70) is not None
+
+    def test_no_loss_never_fires(self):
+        registry = make_registry()
+        publisher = RegistryPublisher(
+            registry, "stream-model", PublishTriggers(loss_delta=0.1)
+        )
+        for step in range(1, 5):
+            assert publisher.maybe_publish(make_model(), step) is None
+
+
+class TestPublish:
+    def test_metadata_records_cadence_evidence(self):
+        registry = make_registry()
+        publisher = RegistryPublisher(
+            registry, "stream-model", PublishTriggers(every_steps=1)
+        )
+        version = publisher.publish(
+            make_model(), 7, reason="steps", loss=0.42
+        )
+        meta = registry.metadata("stream-model", version)
+        assert meta["online_step"] == 7
+        assert meta["publish_reason"] == "steps"
+        assert meta["loss"] == pytest.approx(0.42)
+
+    def test_publish_counter_increments(self):
+        metrics = MetricsRegistry()
+        registry = make_registry()
+        publisher = RegistryPublisher(
+            registry,
+            "stream-model",
+            PublishTriggers(every_steps=1),
+            metrics=metrics,
+        )
+        publisher.publish(make_model(), 1)
+        publisher.publish(make_model(), 2)
+        assert metrics.counter("online/published_total").value == 2
+        assert publisher.published_count == 2

@@ -1,0 +1,122 @@
+"""ModelRegistry.prune: bounded history that never eats the safety net."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.linear.logistic import LogisticRegression
+from repro.serve import ModelRegistry
+
+NAME = "pruned-model"
+D = 6
+
+
+def make_model(seed=0):
+    return LogisticRegression(D, rng=np.random.default_rng(seed))
+
+
+def make_registry(root=None, publishes=0, activate_first=False):
+    registry = ModelRegistry(root=root)
+    registry.register(NAME, lambda: LogisticRegression(D, weight_init_std=0.0))
+    versions = []
+    for i in range(publishes):
+        versions.append(
+            registry.publish(
+                NAME, make_model(seed=i), activate=(i == 0 and activate_first)
+            )
+        )
+    return registry, versions
+
+
+class TestPruneMemoryBackend:
+    def test_keeps_newest_and_active(self):
+        registry, versions = make_registry(publishes=6, activate_first=True)
+        removed = registry.prune(NAME, keep_last=2)
+        # v0001 is active (protected); of the 5 prunable, the oldest 3 go.
+        assert removed == ["v0002", "v0003", "v0004"]
+        assert registry.versions(NAME) == ["v0001", "v0005", "v0006"]
+        # Survivors still load.
+        for version in registry.versions(NAME):
+            assert registry.load(NAME, version) is not None
+
+    def test_removed_versions_no_longer_load(self):
+        registry, _ = make_registry(publishes=5, activate_first=True)
+        removed = registry.prune(NAME, keep_last=1)
+        assert removed
+        with pytest.raises(Exception):
+            registry.load(NAME, removed[0])
+
+    def test_protects_last_known_good(self):
+        registry, versions = make_registry(publishes=5, activate_first=True)
+        registry.activate(NAME, versions[2])  # v0001 becomes last-known-good
+        assert registry.last_known_good(NAME) == versions[0]
+        removed = registry.prune(NAME, keep_last=1)
+        survivors = registry.versions(NAME)
+        assert versions[0] in survivors  # last-known-good kept
+        assert versions[2] in survivors  # active kept
+        assert versions[-1] in survivors  # newest kept
+        assert versions[1] in removed and versions[3] in removed
+
+    def test_protect_argument(self):
+        registry, versions = make_registry(publishes=4)
+        removed = registry.prune(NAME, keep_last=1, protect=[versions[0]])
+        assert versions[0] not in removed
+        assert registry.versions(NAME) == [versions[0], versions[-1]]
+
+    def test_noop_when_under_budget(self):
+        registry, _ = make_registry(publishes=3)
+        assert registry.prune(NAME, keep_last=3) == []
+        assert len(registry.versions(NAME)) == 3
+
+    def test_keep_last_validation(self):
+        registry, _ = make_registry(publishes=2)
+        with pytest.raises(ValueError, match="keep_last"):
+            registry.prune(NAME, keep_last=0)
+
+    def test_version_numbering_continues_after_prune(self):
+        """Pruning never recycles version names."""
+        registry, _ = make_registry(publishes=4, activate_first=True)
+        registry.prune(NAME, keep_last=1)
+        assert registry.versions(NAME) == ["v0001", "v0004"]
+        fresh = registry.publish(NAME, make_model(seed=9))
+        assert fresh == "v0005"
+
+    def test_continuous_publishing_stays_bounded(self):
+        """The loop's publish/prune cadence keeps history size constant."""
+        registry, _ = make_registry(publishes=1, activate_first=True)
+        for i in range(20):
+            registry.publish(NAME, make_model(seed=i), activate=False)
+            registry.prune(NAME, keep_last=3)
+            assert len(registry.versions(NAME)) <= 4  # 3 + protected active
+        assert registry.active_version(NAME) == "v0001"
+
+
+class TestPruneDiskBackend:
+    def test_prune_removes_files(self, tmp_path):
+        registry, versions = make_registry(
+            root=str(tmp_path), publishes=5, activate_first=True
+        )
+        model_dir = os.path.join(str(tmp_path), NAME)
+        before = {f for f in os.listdir(model_dir) if f.endswith(".npz")}
+        assert len(before) == 5
+        removed = registry.prune(NAME, keep_last=1)
+        assert removed == ["v0002", "v0003", "v0004"]
+        after = {f for f in os.listdir(model_dir) if f.endswith(".npz")}
+        assert after == {"v0001.npz", "v0005.npz"}
+        for version in removed:
+            assert not os.path.exists(
+                os.path.join(model_dir, version + ".meta.json")
+            )
+
+    def test_disk_registry_reload_sees_pruned_manifest(self, tmp_path):
+        registry, _ = make_registry(
+            root=str(tmp_path), publishes=4, activate_first=True
+        )
+        registry.prune(NAME, keep_last=1)
+        reopened = ModelRegistry(root=str(tmp_path))
+        reopened.register(
+            NAME, lambda: LogisticRegression(D, weight_init_std=0.0)
+        )
+        assert reopened.versions(NAME) == ["v0001", "v0004"]
+        assert reopened.publish(NAME, make_model()) == "v0005"

@@ -279,6 +279,7 @@ class TestTelemetryCoverage:
             TelemetryCoverageRule, source, module=self.SERVE
         ) == []
 
+
     def test_entry_point_delegating_to_sibling_is_clean(self):
         source = """
             class Server:
@@ -330,6 +331,70 @@ class TestTelemetryCoverage:
             )
             == 1
         )
+
+
+class TestTelemetryCoverageOnline:
+    ONLINE = "repro.online.fake"
+
+    def test_online_entry_point_without_span_flagged(self):
+        source = """
+            class Trainer:
+                def partial_fit(self, x, y):
+                    return self._sgd_step(x, y)
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.ONLINE)
+        assert len(found) == 1
+        assert "Trainer.partial_fit" in found[0].message
+        assert "continuous-learning" in found[0].message
+
+    def test_online_entry_point_with_span_is_clean(self):
+        source = """
+            from repro.telemetry.trace import start_span
+
+            class Policy:
+                def decide(self, report, step):
+                    with start_span("online/promotion_decide"):
+                        return self._evaluate(report, step)
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.ONLINE
+        ) == []
+
+    def test_online_delegation_to_spanned_sibling_is_clean(self):
+        source = """
+            from repro.telemetry.trace import start_span
+
+            class Publisher:
+                def maybe_publish(self, model, step):
+                    return self.publish(model, step)
+
+                def publish(self, model, step):
+                    with start_span("online/publish"):
+                        return self.registry.publish(self.name, model)
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.ONLINE
+        ) == []
+
+    def test_online_package_covered_by_metrics_rules(self):
+        source = """
+            class Loop:
+                def status(self):
+                    return self.metrics._counters["online/steps_total"].value
+        """
+        found = findings_for(TelemetryCoverageRule, source, module=self.ONLINE)
+        assert len(found) == 1
+        assert "_counters" in found[0].message
+
+    def test_serve_entry_points_not_required_in_online(self):
+        source = """
+            class Stream:
+                def predict(self, x):
+                    return x
+        """
+        assert findings_for(
+            TelemetryCoverageRule, source, module=self.ONLINE
+        ) == []
 
 
 # ----------------------------------------------------------------------
