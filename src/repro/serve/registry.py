@@ -171,7 +171,8 @@ class ModelRegistry:
             self._factories[name] = factory
 
     def _factory_for(self, name: str, version: str) -> ModelFactory:
-        factory = self._factories.get(name)
+        with self._lock:
+            factory = self._factories.get(name)
         if factory is not None:
             return factory
         return _default_factory_from_metadata(self.metadata(name, version))
@@ -191,11 +192,12 @@ class ModelRegistry:
 
     def _read_manifest(self, name: str) -> Dict[str, Any]:
         if self.root is None:
-            entry = self._memory.get(name, {})
-            return {
-                "versions": sorted(entry.get("versions", {})),
-                "active": entry.get("active"),
-            }
+            with self._lock:
+                entry = self._memory.get(name, {})
+                return {
+                    "versions": sorted(entry.get("versions", {})),
+                    "active": entry.get("active"),
+                }
         try:
             with open(self._manifest_path(name), encoding="utf-8") as fh:
                 return json.load(fh)
@@ -219,11 +221,14 @@ class ModelRegistry:
 
     def _load_state(self, name: str, version: str) -> Dict[str, np.ndarray]:
         if self.root is None:
-            try:
-                state, _meta = self._memory[name]["versions"][version]
-            except KeyError:
-                raise KeyError(f"unknown checkpoint {name}:{version}") from None
-            return {k: v.copy() for k, v in state.items()}
+            with self._lock:
+                try:
+                    state, _meta = self._memory[name]["versions"][version]
+                except KeyError:
+                    raise KeyError(
+                        f"unknown checkpoint {name}:{version}"
+                    ) from None
+                return {k: v.copy() for k, v in state.items()}
         path = os.path.join(self._model_dir(name), f"{version}.npz")
         if not os.path.exists(path):
             raise KeyError(f"unknown checkpoint {name}:{version}")
@@ -311,7 +316,8 @@ class ModelRegistry:
     def names(self) -> List[str]:
         """All model names known to this registry."""
         if self.root is None:
-            return sorted(self._memory)
+            with self._lock:
+                return sorted(self._memory)
         return sorted(
             entry
             for entry in os.listdir(self.root)
@@ -325,11 +331,14 @@ class ModelRegistry:
     def metadata(self, name: str, version: str) -> Dict[str, Any]:
         """The metadata dict recorded when ``version`` was published."""
         if self.root is None:
-            try:
-                _state, meta = self._memory[name]["versions"][version]
-            except KeyError:
-                raise KeyError(f"unknown checkpoint {name}:{version}") from None
-            return dict(meta)
+            with self._lock:
+                try:
+                    _state, meta = self._memory[name]["versions"][version]
+                except KeyError:
+                    raise KeyError(
+                        f"unknown checkpoint {name}:{version}"
+                    ) from None
+                return dict(meta)
         path = os.path.join(self._model_dir(name), f"{version}.meta.json")
         if not os.path.exists(path):
             raise KeyError(f"unknown checkpoint {name}:{version}")

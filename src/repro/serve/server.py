@@ -198,7 +198,7 @@ class ModelServer:
         """
         clock = self.metrics.clock
         start = clock()
-        if self._closed:
+        if self.closed:
             raise ServerClosed()
         with self._start_span("serve/request", method=method) as span:
             row = self._normalize_row(row)
@@ -254,7 +254,7 @@ class ModelServer:
         they coalesce into micro-batches; order of results matches the
         row order of ``x``.
         """
-        if self._closed:
+        if self.closed:
             raise ServerClosed()
         clock = self.metrics.clock
         with self._start_span(
@@ -571,7 +571,8 @@ class ModelServer:
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has begun; closed servers reject requests."""
-        return self._closed
+        with self._close_lock:
+            return self._closed
 
     def health(self) -> Dict[str, Any]:
         """Liveness/diagnostics probe: one consistent operator-facing dict.
@@ -627,7 +628,8 @@ class ModelServer:
             except Exception:
                 active["version"] = None
                 active["stale"] = False
-        if self._closed:
+        closed_now = self.closed
+        if closed_now:
             status = "closed"
         elif any(state != "closed" for state in breakers.values()):
             status = "degraded"
@@ -637,7 +639,7 @@ class ModelServer:
             status = "ok"
         return {
             "status": status,
-            "closed": self._closed,
+            "closed": closed_now,
             "queue_depth": depth,
             "queue_capacity": capacity,
             "queue_saturation": depth / capacity if capacity else 0.0,
@@ -648,7 +650,7 @@ class ModelServer:
             "shards": [
                 {
                     "shard": 0,
-                    "alive": not self._closed,
+                    "alive": not closed_now,
                     "queue_depth": depth,
                     "active_version": active["version"],
                 }
@@ -663,7 +665,7 @@ class ModelServer:
         should route only to ready replicas; :meth:`health` explains
         *why* one is not.
         """
-        if self._closed:
+        if self.closed:
             return False
         try:
             version, _model = self._resolve()
@@ -707,5 +709,5 @@ class ModelServer:
         )
         return (
             f"ModelServer({target}, max_batch_size="
-            f"{self._batcher.max_batch_size}, closed={self._closed})"
+            f"{self._batcher.max_batch_size}, closed={self.closed})"
         )

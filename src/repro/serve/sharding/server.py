@@ -225,7 +225,13 @@ class ShardedModelServer:
     @property
     def version(self) -> str:
         """Version label requests are currently served under."""
-        return self._version
+        with self._swap_lock:
+            return self._version
+
+    def _fallback_type_name(self) -> str:
+        """Type name of the inline-fallback model (hot-swap safe read)."""
+        with self._swap_lock:
+            return type(self._fallback).__name__
 
     # ------------------------------------------------------------------
     # Public request API
@@ -258,13 +264,13 @@ class ShardedModelServer:
         """
         clock = self.metrics.clock
         start = clock()
-        if self._closed:
+        if self.closed:
             raise ServerClosed()
         with self._start_span("serve/request", method=method) as span:
             row = self._normalize_row(row)
             if method not in self._out_widths:
                 raise ValueError(
-                    f"model {type(self._fallback).__name__} does not "
+                    f"model {self._fallback_type_name()} does not "
                     f"support {method!r}"
                 )
             version = self._current_version()
@@ -314,7 +320,7 @@ class ShardedModelServer:
         rejects are shed to the inline path, rows stranded by a worker
         death are rescued inline — every row is answered.
         """
-        if self._closed:
+        if self.closed:
             raise ServerClosed()
         clock = self.metrics.clock
         with self._start_span(
@@ -322,7 +328,7 @@ class ShardedModelServer:
         ) as span:
             if method not in self._out_widths:
                 raise ValueError(
-                    f"model {type(self._fallback).__name__} does not "
+                    f"model {self._fallback_type_name()} does not "
                     f"support {method!r}"
                 )
             version = self._current_version()
@@ -395,11 +401,12 @@ class ShardedModelServer:
         """Serving version; triggers hot-swap when the registry moved on."""
         registry = self._registry
         if registry is None:
-            return self._version
+            return self.version
         manifest_version = registry.active_version(self._name or "")
-        if manifest_version is not None and manifest_version != self._version:
-            self.hot_swap(manifest_version)
-        return self._version
+        current = self.version
+        if manifest_version is not None and manifest_version != current:
+            return self.hot_swap(manifest_version)
+        return current
 
     def hot_swap(self, version: Optional[str] = None) -> str:
         """Atomically move the whole fleet (and the fallback) to ``version``.
@@ -518,7 +525,8 @@ class ShardedModelServer:
         whole fleet dead mid-respawn.
         """
         with self._start_span("serve/inline_predict", method=method):
-            bound = getattr(self._fallback, method)
+            with self._swap_lock:
+                bound = getattr(self._fallback, method)
             policy = self.resilience
             if policy is not None:
                 out = policy.retry.call(bound, row[np.newaxis, ...])
@@ -542,7 +550,7 @@ class ShardedModelServer:
                 self.metrics.counter("serve/rescued_total").inc()
                 key = (
                     PredictionCache.make_key(
-                        request.method, self._version, request.row
+                        request.method, self.version, request.row
                     )
                     if self.cache.maxsize
                     else None
@@ -621,7 +629,8 @@ class ShardedModelServer:
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has begun; closed servers reject requests."""
-        return self._closed
+        with self._close_lock:
+            return self._closed
 
     def health(self) -> Dict[str, Any]:
         """Operator probe with the per-shard status list.
@@ -646,7 +655,8 @@ class ShardedModelServer:
         }
         depth = sum(int(status["queue_depth"]) for status in statuses)
         capacity = sum(batcher.max_queue for batcher in self._batchers)
-        if self._closed:
+        closed_now = self.closed
+        if closed_now:
             overall = "closed"
         elif alive == len(statuses) and all(
             state == "closed" for state in breakers.values()
@@ -656,7 +666,7 @@ class ShardedModelServer:
             overall = "degraded"
         return {
             "status": overall,
-            "closed": self._closed,
+            "closed": closed_now,
             "n_shards": self.n_shards,
             "alive_shards": alive,
             "queue_depth": depth,
@@ -665,8 +675,8 @@ class ShardedModelServer:
             "cache": self.cache.stats(),
             "breakers": breakers,
             "active_model": {
-                "name": self._name or type(self._fallback).__name__,
-                "version": self._version,
+                "name": self._name or self._fallback_type_name(),
+                "version": self.version,
                 "stale": False,
             },
             "shards": statuses,
@@ -679,7 +689,7 @@ class ShardedModelServer:
         answers via the parent fallback — so readiness only gates
         shutdown, while :meth:`health` grades degradation.
         """
-        return not self._closed
+        return not self.closed
 
     def stats(self) -> Dict[str, Any]:
         """Derived serving stats, including the per-shard request split."""
@@ -717,9 +727,9 @@ class ShardedModelServer:
     def __repr__(self) -> str:
         target = (
             f"registry:{self._name}" if self._registry is not None
-            else type(self._fallback).__name__
+            else self._fallback_type_name()
         )
         return (
             f"ShardedModelServer({target}, shards={self.n_shards}, "
-            f"version={self._version!r}, closed={self._closed})"
+            f"version={self.version!r}, closed={self.closed})"
         )

@@ -178,7 +178,7 @@ class ShardChannel:
     # ------------------------------------------------------------------
     # Conversation primitives (one in flight; caller-visible lock)
     # ------------------------------------------------------------------
-    def _recv(self, timeout: float) -> Tuple[Any, ...]:
+    def _recv_locked(self, timeout: float) -> Tuple[Any, ...]:
         deadline = self._clock() + timeout
         conn = self._parent_conn
         while True:
@@ -199,7 +199,7 @@ class ShardChannel:
                     self.shard_id, f"no reply within {timeout:.1f}s"
                 )
 
-    def _send(self, message: Tuple[Any, ...]) -> None:
+    def _send_locked(self, message: Tuple[Any, ...]) -> None:
         try:
             self._parent_conn.send(message)
         except (BrokenPipeError, OSError) as exc:
@@ -223,8 +223,8 @@ class ShardChannel:
             self._batch_serial += 1
             batch_id = self._batch_serial
             self.request_slab[:n_rows] = batch
-            self._send(("score", batch_id, method, n_rows))
-            reply = self._recv(timeout)
+            self._send_locked(("score", batch_id, method, n_rows))
+            reply = self._recv_locked(timeout)
             kind = reply[0]
             if kind == "error":
                 _kind, _batch_id, exc_type, detail, _version = reply
@@ -249,8 +249,8 @@ class ShardChannel:
     def swap(self, version: str, state_blob: bytes, timeout: float) -> None:
         """Ship a serialized state dict; returns once the worker applied it."""
         with self._lock:
-            self._send(("swap", version, state_blob))
-            reply = self._recv(timeout)
+            self._send_locked(("swap", version, state_blob))
+            reply = self._recv_locked(timeout)
             if reply[0] != "swapped" or reply[1] != version:
                 raise ShardDead(
                     self.shard_id, f"swap not acknowledged: {reply!r}"
@@ -259,8 +259,8 @@ class ShardChannel:
     def ping(self, timeout: float) -> dict:
         """Round-trip a status probe; returns the worker's status dict."""
         with self._lock:
-            self._send(("ping",))
-            reply = self._recv(timeout)
+            self._send_locked(("ping",))
+            reply = self._recv_locked(timeout)
             if reply[0] != "pong":
                 raise ShardDead(
                     self.shard_id, f"ping not acknowledged: {reply!r}"
@@ -277,12 +277,17 @@ class ShardChannel:
                 pass
 
     def close(self) -> None:
-        """Close both pipe ends (slabs are reclaimed with the process)."""
-        for conn in (self._parent_conn, self.child_conn):
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
+        """Close both pipe ends (slabs are reclaimed with the process).
+
+        Takes the channel lock so a concurrent :meth:`reset_pipe` can
+        neither resurrect a closed channel nor leak its fresh pipe.
+        """
+        with self._lock:
+            for conn in (self._parent_conn, self.child_conn):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
 
     def __repr__(self) -> str:
         return (

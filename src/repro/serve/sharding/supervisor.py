@@ -203,8 +203,8 @@ class ShardSupervisor:
                 self.metrics.counter(
                     f"serve/shard/{shard_id}/respawns_total"
                 ).inc()
-        add_event("shard_respawned", shard=shard_id,
-                  version=self._last_version)
+            version = self._last_version
+        add_event("shard_respawned", shard=shard_id, version=version)
         return True
 
     def kill(self, shard_id: int) -> None:

@@ -245,7 +245,10 @@ class PhaseTimer:
     @property
     def mean_seconds(self) -> float:
         """Mean duration per completed span (0.0 before any complete)."""
-        return self.total_seconds / self.count if self.count else 0.0
+        with self._lock:
+            if not self.count:
+                return 0.0
+            return self.total_seconds / self.count
 
     def reset(self) -> None:
         """Zero the totals and discard **every** thread's open span.
@@ -264,17 +267,27 @@ class PhaseTimer:
             self._open.clear()
 
     def summary(self) -> Dict[str, float]:
-        """Snapshot dict: completed-span count, total and mean seconds."""
+        """Snapshot dict: completed-span count, total and mean seconds.
+
+        All three values come from one locked read so a ``stop()``
+        landing mid-snapshot can never produce a mean that disagrees
+        with its own count/total pair.
+        """
+        with self._lock:
+            count = self.count
+            total = self.total_seconds
         return {
-            "count": self.count,
-            "total_seconds": self.total_seconds,
-            "mean_seconds": self.mean_seconds,
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
         }
 
     def __repr__(self) -> str:
+        with self._lock:
+            count, total = self.count, self.total_seconds
         return (
-            f"PhaseTimer({self.name!r}, count={self.count}, "
-            f"total_seconds={self.total_seconds:.6f})"
+            f"PhaseTimer({self.name!r}, count={count}, "
+            f"total_seconds={total:.6f})"
         )
 
 
@@ -289,6 +302,11 @@ class MetricsRegistry:
 
     def __init__(self, clock: Clock = time.perf_counter):
         self.clock = clock
+        # Guards the name->instrument maps only; instruments synchronize
+        # (or deliberately don't) their own state.  Without it two
+        # threads asking for the same new gauge can each create one and
+        # then increment different objects.
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -297,25 +315,29 @@ class MetricsRegistry:
     # -- instrument accessors -----------------------------------------
     def counter(self, name: str) -> Counter:
         """The :class:`Counter` named ``name`` (created on first access)."""
-        self._check_kind(name, self._counters)
-        return self._counters.setdefault(name, Counter(name))
+        with self._lock:
+            self._check_kind_locked(name, self._counters)
+            return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
         """The :class:`Gauge` named ``name`` (created on first access)."""
-        self._check_kind(name, self._gauges)
-        return self._gauges.setdefault(name, Gauge(name))
+        with self._lock:
+            self._check_kind_locked(name, self._gauges)
+            return self._gauges.setdefault(name, Gauge(name))
 
     def histogram(self, name: str) -> Histogram:
         """The :class:`Histogram` named ``name`` (created on first access)."""
-        self._check_kind(name, self._histograms)
-        return self._histograms.setdefault(name, Histogram(name))
+        with self._lock:
+            self._check_kind_locked(name, self._histograms)
+            return self._histograms.setdefault(name, Histogram(name))
 
     def timer(self, name: str) -> PhaseTimer:
         """The :class:`PhaseTimer` named ``name``, on the shared clock."""
-        self._check_kind(name, self._timers)
-        return self._timers.setdefault(name, PhaseTimer(name, self.clock))
+        with self._lock:
+            self._check_kind_locked(name, self._timers)
+            return self._timers.setdefault(name, PhaseTimer(name, self.clock))
 
-    def _check_kind(self, name: str, expected: Dict) -> None:
+    def _check_kind_locked(self, name: str, expected: Dict) -> None:
         for family in (self._counters, self._gauges, self._histograms,
                        self._timers):
             if family is not expected and name in family:
@@ -323,23 +345,38 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as a different kind"
                 )
 
+    def _copy_families(self) -> List[Dict[str, object]]:
+        """Shallow copies of every instrument map, under one locked read.
+
+        Instrument methods are then called *outside* the registry lock
+        so the lock-order graph stays a star, not a chain (PhaseTimer
+        has its own lock).
+        """
+        with self._lock:
+            return [
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+                dict(self._timers),
+            ]
+
     # -- lifecycle ----------------------------------------------------
     def reset(self) -> None:
         """Zero every instrument (the instruments themselves survive)."""
-        for family in (self._counters, self._gauges, self._histograms,
-                       self._timers):
+        for family in self._copy_families():
             for instrument in family.values():
                 instrument.reset()
 
     def snapshot(self) -> Dict[str, Dict]:
         """JSON-serializable dump of every instrument's current state."""
+        counters, gauges, histograms, timers = self._copy_families()
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {
-                n: h.summary() for n, h in sorted(self._histograms.items())
+                n: h.summary() for n, h in sorted(histograms.items())
             },
-            "timers": {n: t.summary() for n, t in sorted(self._timers.items())},
+            "timers": {n: t.summary() for n, t in sorted(timers.items())},
         }
 
     def phase_seconds(self, prefix: str = "phase/") -> Dict[str, float]:
@@ -349,15 +386,17 @@ class MetricsRegistry:
         E-step/M-step cost, directly, instead of inferring it from
         whole-epoch wall-clock differences.
         """
+        _counters, _gauges, _histograms, timers = self._copy_families()
         return {
-            name[len(prefix):]: timer.total_seconds
-            for name, timer in sorted(self._timers.items())
+            name[len(prefix):]: timer.summary()["total_seconds"]
+            for name, timer in sorted(timers.items())
             if name.startswith(prefix)
         }
 
     def __repr__(self) -> str:
+        counters, gauges, histograms, timers = self._copy_families()
         return (
-            f"MetricsRegistry(counters={len(self._counters)}, "
-            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
-            f"timers={len(self._timers)})"
+            f"MetricsRegistry(counters={len(counters)}, "
+            f"gauges={len(gauges)}, histograms={len(histograms)}, "
+            f"timers={len(timers)})"
         )

@@ -533,7 +533,8 @@ class Tracer:
             span.start = start if start is not None else self.clock()
             span.end = span.start + duration
             self._export(span)
-            self.finished += 1
+            with self._lock:
+                self.finished += 1
 
     def finish(self, span: Span) -> None:
         """Close ``span`` (stamping ``end``) and export it if sampled."""
@@ -541,7 +542,8 @@ class Tracer:
             if span.end is None:
                 span.end = self.clock()
             self._export(span)
-        self.finished += 1
+        with self._lock:
+            self.finished += 1
 
     def _export(self, span: Span) -> None:
         # Without an external exporter the span object goes into the
@@ -556,18 +558,24 @@ class Tracer:
 
     def stats(self) -> Dict[str, Any]:
         """Counters for the tracer itself (started/sampled/finished)."""
+        with self._lock:
+            started, sampled, finished = (
+                self.started, self.sampled, self.finished,
+            )
         return {
-            "started": self.started,
-            "sampled": self.sampled,
-            "finished": self.finished,
+            "started": started,
+            "sampled": sampled,
+            "finished": finished,
             "buffered": len(self.buffer),
             "sample_rate": self.sample_rate,
         }
 
     def __repr__(self) -> str:
+        with self._lock:
+            started, sampled = self.started, self.sampled
         return (
             f"Tracer(sample_rate={self.sample_rate}, "
-            f"started={self.started}, sampled={self.sampled})"
+            f"started={started}, sampled={sampled})"
         )
 
 

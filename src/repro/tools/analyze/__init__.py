@@ -1,0 +1,57 @@
+"""Whole-project concurrency analyzer.
+
+The repository's worst real bugs have all been concurrency bugs — the
+PhaseTimer thread-safety bug, PredictionCache stats read outside the
+lock, MicroBatcher shutdown stranding queued waiters.  The per-file
+``LOCK-DISCIPLINE`` heuristic in :mod:`repro.tools.lint` cannot see
+*which* attributes a lock actually guards or in what order locks nest,
+so this package builds the project-wide view:
+
+- :mod:`repro.tools.analyze.symbols` — a class/attribute symbol table
+  over every file under analysis: lock attributes, per-method attribute
+  reads/writes with the set of locks held at each access, lock
+  acquisitions, call sites and inferred attribute types (the call-edge
+  substrate);
+- :mod:`repro.tools.analyze.guards` — guard-set inference: an attribute
+  written under ``with self._lock:`` anywhere in a class is *guarded*,
+  and every read or write of it outside a lock body (or under a
+  different lock) is a ``GUARD-VIOLATION``;
+- :mod:`repro.tools.analyze.lockorder` — a cross-class
+  lock-acquisition-order graph from nested ``with`` bodies and call
+  edges; every cycle is a ``LOCK-ORDER-CYCLE`` (potential deadlock),
+  exportable as Graphviz DOT;
+- :mod:`repro.tools.analyze.lockcheck` — the runtime side: a
+  :class:`~repro.tools.analyze.lockcheck.CheckedLock` sanitizer that
+  records per-thread acquisition stacks during the test suite and
+  raises on any lock-order inversion observed live.
+
+Findings reuse the lint engine's plumbing — per-line ``# reprolint:
+disable=RULE`` suppressions, fingerprint baselines, JSON output and
+0/1/2 exit codes — so ``python -m repro.tools.analyze src/`` drops into
+CI exactly like the linter.
+"""
+
+from .engine import AnalysisResult, analyze_source, run_analysis
+from .guards import GUARD_VIOLATION, GuardViolation, guard_findings
+from .lockcheck import CheckedLock, LockInversion, LockOrderError, LockOrderTracker
+from .lockorder import LOCK_ORDER_CYCLE, LockOrderGraph, build_lock_graph
+from .symbols import ClassInfo, MethodInfo, SymbolTable
+
+__all__ = [
+    "AnalysisResult",
+    "CheckedLock",
+    "ClassInfo",
+    "GUARD_VIOLATION",
+    "GuardViolation",
+    "LOCK_ORDER_CYCLE",
+    "LockInversion",
+    "LockOrderError",
+    "LockOrderGraph",
+    "LockOrderTracker",
+    "MethodInfo",
+    "SymbolTable",
+    "analyze_source",
+    "build_lock_graph",
+    "guard_findings",
+    "run_analysis",
+]

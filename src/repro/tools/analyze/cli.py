@@ -1,0 +1,215 @@
+"""Command-line front end: ``python -m repro.tools.analyze [paths...]``.
+
+Exit codes mirror the linter: 0 = clean (every finding suppressed or
+baselined, or none), 1 = at least one fresh finding or parse error,
+2 = usage error.  ``--json`` emits the machine-readable report CI
+gates on; ``--dot FILE`` writes the lock-acquisition-order graph as
+Graphviz DOT (cycle edges highlighted) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from ..lint.baseline import Baseline
+from ..lint.engine import Finding
+from .engine import AnalysisResult, run_analysis
+from .guards import GUARD_VIOLATION
+from .lockorder import LOCK_ORDER_CYCLE
+
+__all__ = ["build_parser", "main", "DEFAULT_BASELINE_NAME"]
+
+#: The analyzer keeps its accepted-debt file separate from the linter's
+#: so `--write-baseline` on one tool can never eat the other's entries.
+DEFAULT_BASELINE_NAME = ".reproanalyze-baseline.json"
+
+_RULES = (GUARD_VIOLATION, LOCK_ORDER_CYCLE)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.analyze",
+        description=(
+            "Whole-project concurrency analysis: lock-guard inference "
+            "(GUARD-VIOLATION) and deadlock-cycle detection "
+            "(LOCK-ORDER-CYCLE) over the class/attribute symbol table."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--dot",
+        default=None,
+        metavar="FILE",
+        help="write the lock-acquisition-order graph as Graphviz DOT "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to report "
+        f"(default: all of {', '.join(_RULES)})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    return parser
+
+
+def _filter_rules(
+    findings: List[Finding], selected: Optional[Sequence[str]]
+) -> List[Finding]:
+    if selected is None:
+        return findings
+    allowed = set(selected)
+    return [f for f in findings if f.rule in allowed]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(f"{GUARD_VIOLATION:20s} guarded attribute accessed "
+              "outside its lock")
+        print(f"{LOCK_ORDER_CYCLE:20s} locks acquired in a cyclic order "
+              "(potential deadlock)")
+        return 0
+
+    selected: Optional[List[str]] = None
+    if options.select:
+        selected = [name.strip() for name in options.select.split(",")]
+        unknown = [name for name in selected if name not in _RULES]
+        if unknown:
+            print(
+                f"error: unknown rule(s) {', '.join(unknown)}; known "
+                f"rules: {', '.join(_RULES)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    baseline_path = options.baseline or os.path.join(
+        os.getcwd(), DEFAULT_BASELINE_NAME
+    )
+    baseline: Optional[Baseline] = None
+    if not options.no_baseline and not options.write_baseline:
+        if os.path.isfile(baseline_path):
+            baseline = Baseline.load(baseline_path)
+
+    try:
+        result = run_analysis(options.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result.findings = _filter_rules(result.findings, selected)
+    result.baselined = _filter_rules(result.baselined, selected)
+    result.suppressed = _filter_rules(result.suppressed, selected)
+
+    if options.dot:
+        dot = result.graph.to_dot()
+        if options.dot == "-":
+            sys.stdout.write(dot)
+        else:
+            with open(options.dot, "w", encoding="utf-8") as handle:
+                handle.write(dot)
+
+    if options.write_baseline:
+        snapshot = Baseline.from_findings(result.all_findings())
+        snapshot.dump(baseline_path)
+        print(
+            f"wrote {len(snapshot.entries)} baseline entrie(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    if options.json:
+        print(json.dumps(_json_report(result), indent=2))
+        return 0 if result.clean else 1
+
+    for finding in result.all_findings():
+        print(finding.render())
+    summary = (
+        f"{result.files_checked} file(s) checked, "
+        f"{len(result.all_findings())} finding(s)"
+    )
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed"
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    summary += (
+        f"; lock graph: {len(result.graph.nodes)} lock(s), "
+        f"{len(result.graph.edges)} order edge(s), "
+        f"{len(result.graph.cycles())} cycle(s)"
+    )
+    print(summary)
+    return 0 if result.clean else 1
+
+
+def _json_report(result: AnalysisResult) -> dict:
+    return {
+        "version": 1,
+        "tool": "repro.tools.analyze",
+        "files_checked": result.files_checked,
+        "rules": list(_RULES),
+        "findings": [f.to_json() for f in result.all_findings()],
+        "baselined": [f.to_json() for f in result.baselined],
+        "suppressed": [f.to_json() for f in result.suppressed],
+        "lock_graph": {
+            "nodes": [n.label for n in result.graph.nodes],
+            "edges": [
+                {
+                    "src": e.src.label,
+                    "dst": e.dst.label,
+                    "path": e.path,
+                    "line": e.line,
+                    "kind": e.kind,
+                    "detail": e.detail,
+                }
+                for e in result.graph.edges
+            ],
+            "cycles": [
+                [n.label for n in cycle] for cycle in result.graph.cycles()
+            ],
+        },
+        "clean": result.clean,
+    }
+
+
+def _entry_point() -> None:
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Analyzer runner: parse, build the table, run both analyses.
+
+Unlike the linter — whose rules are independent per-file passes — the
+concurrency analyses need the *whole* project parsed before the first
+finding can be computed (a call edge in ``serve/server.py`` may reach a
+lock defined in ``telemetry/metrics.py``).  So the runner parses every
+file into the linter's :class:`~repro.tools.lint.engine.LintContext`
+(reusing its module inference and per-line suppressions), builds one
+:class:`~repro.tools.analyze.symbols.SymbolTable`, and only then asks
+the guard and lock-order analyses for findings.  Suppressions and the
+fingerprint baseline apply exactly as for lint findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..lint.baseline import Baseline
+from ..lint.engine import Finding, LintContext, collect_python_files
+from .guards import guard_findings
+from .lockorder import LockOrderGraph, build_lock_graph
+from .symbols import SymbolTable
+
+__all__ = ["AnalysisResult", "analyze_contexts", "analyze_source", "run_analysis"]
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    parse_errors: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    graph: LockOrderGraph = field(default_factory=LockOrderGraph)
+    table: SymbolTable = field(default_factory=SymbolTable)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def all_findings(self) -> List[Finding]:
+        return list(self.parse_errors) + list(self.findings)
+
+
+def analyze_contexts(
+    contexts: Sequence[LintContext],
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Run both analyses over already-parsed files."""
+    result = AnalysisResult(files_checked=len(contexts))
+    table = SymbolTable.build(contexts)
+    result.table = table
+    result.graph = build_lock_graph(table)
+    by_path: Dict[str, LintContext] = {ctx.path: ctx for ctx in contexts}
+    sources: Dict[str, Sequence[str]] = {
+        ctx.path: ctx.lines for ctx in contexts
+    }
+    matcher = baseline.matcher() if baseline is not None else None
+    raw = guard_findings(table, sources) + result.graph.findings(sources)
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.suppressed(finding):
+            result.suppressed.append(finding)
+        elif matcher is not None and matcher.absorb(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+) -> AnalysisResult:
+    """Analyze one in-memory snippet (the fixture tests use this)."""
+    return analyze_contexts([LintContext(path, source, module=module)])
+
+
+def run_analysis(
+    paths: Iterable[str],
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Analyze every Python file under ``paths``."""
+    import os
+
+    contexts: List[LintContext] = []
+    parse_errors: List[Finding] = []
+    for path in collect_python_files(paths):
+        display = os.path.relpath(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                contexts.append(LintContext(display, handle.read()))
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="SYNTAX-ERROR",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    result = analyze_contexts(contexts, baseline=baseline)
+    result.files_checked += len(parse_errors)
+    result.parse_errors.extend(parse_errors)
+    return result

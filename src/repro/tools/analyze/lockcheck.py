@@ -1,0 +1,391 @@
+"""Runtime lock-order sanitizer: CheckedLock and the install() patch.
+
+The static lock-order graph (:mod:`repro.tools.analyze.lockorder`) can
+only follow acquisitions it can resolve syntactically.  This module is
+the dynamic complement: a :class:`CheckedLock` records, per thread, the
+stack of locks currently held, and maintains a process-wide order graph
+of *observed* acquisition pairs — lock A held while lock B is acquired.
+The first acquisition that inverts an already-observed pair raises
+:class:`LockOrderError` naming both sites, which turns "this deadlock
+needs two threads to interleave just wrong" into "any single test that
+exercises both paths fails loudly".
+
+Lock identity is the **creation site** (file:line of the constructor
+call), not the instance: every ``PredictionCache`` allocates its own
+``self._lock``, but they are all the *same* lock for ordering purposes
+— exactly the instance-free node identity the static graph uses.
+
+:func:`install` monkeypatches ``threading.Lock`` / ``threading.RLock``
+/ ``threading.Condition`` so that locks created *by this project's
+modules* (caller's ``__name__`` under ``repro``) come back checked;
+stdlib and third-party locks are left untouched — their internals are
+not ours to police, and wrapping them would tax every queue and
+executor in the test suite.  The pytest wiring looks like::
+
+    @pytest.fixture(autouse=True)
+    def lock_order_sanitizer():
+        with lockcheck.installed() as tracker:
+            yield tracker
+        assert not tracker.inversions
+
+Inversions raise in the acquiring thread *and* are recorded on the
+tracker, because a raise inside a daemon worker dies with the worker —
+the fixture's teardown assertion is what makes the suite red.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+import contextlib
+
+__all__ = [
+    "CheckedLock",
+    "LockInversion",
+    "LockOrderError",
+    "LockOrderTracker",
+    "get_tracker",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+# The real factories, captured at import time so CheckedLock keeps
+# working while threading.* is patched.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+
+class LockOrderError(RuntimeError):
+    """Two locks were observed acquired in both orders (deadlock risk)."""
+
+
+@dataclass(frozen=True)
+class LockInversion:
+    """One observed order inversion between two lock creation sites."""
+
+    first: str  # lock held
+    second: str  # lock being acquired
+    site: str  # where the inverting acquisition happened
+    prior_site: str  # where the opposite order was first observed
+    thread: str
+
+    def describe(self) -> str:
+        return (
+            f"lock-order inversion: acquiring {self.second!r} while "
+            f"holding {self.first!r} (at {self.site}, thread "
+            f"{self.thread}), but the opposite order was observed at "
+            f"{self.prior_site}"
+        )
+
+
+def _call_site(depth: int = 2) -> str:
+    """``file:line`` of the frame ``depth`` levels up (best effort)."""
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:  # pragma: no cover - shallow stack
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class LockOrderTracker:
+    """Process-wide observed-order graph plus per-thread held stacks."""
+
+    def __init__(self, raise_on_inversion: bool = True) -> None:
+        self.raise_on_inversion = raise_on_inversion
+        #: (held_name, acquired_name) -> site where first observed.
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._edges_lock = _REAL_LOCK()
+        self._local = threading.local()
+        self.inversions: List[LockInversion] = []
+        self.acquisitions = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List["CheckedLock"]:
+        stack: Optional[List["CheckedLock"]] = getattr(
+            self._local, "stack", None
+        )
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held_names(self) -> List[str]:
+        """Order names of locks the calling thread currently holds."""
+        return [lock.order_name for lock in self._stack()]
+
+    def edges(self) -> Dict[Tuple[str, str], str]:
+        """Snapshot of the observed-order graph (edge -> first site)."""
+        with self._edges_lock:
+            return dict(self._edges)
+
+    # ------------------------------------------------------------------
+    def note_acquired(self, lock: "CheckedLock", site: str) -> None:
+        """Record an acquisition; raises on an observed inversion.
+
+        Called *after* the underlying lock is acquired.  On inversion
+        the acquisition is rolled back (the inner lock is released and
+        nothing is pushed) before raising, so a ``with`` statement that
+        never runs its body does not leak a held lock.
+        """
+        stack = self._stack()
+        name = lock.order_name
+        held = {prior.order_name for prior in stack}
+        self.acquisitions += 1  # single-writer per field is fine: stats only
+        if name not in held:
+            for prior_name in held:
+                inversion = self._record_edge(prior_name, name, site)
+                if inversion is not None:
+                    self.inversions.append(inversion)
+                    if self.raise_on_inversion:
+                        lock._inner.release()
+                        raise LockOrderError(inversion.describe())
+        stack.append(lock)
+
+    def _record_edge(
+        self, prior_name: str, name: str, site: str
+    ) -> Optional[LockInversion]:
+        with self._edges_lock:
+            self._edges.setdefault((prior_name, name), site)
+            reverse = self._edges.get((name, prior_name))
+        if reverse is None:
+            return None
+        return LockInversion(
+            first=prior_name,
+            second=name,
+            site=site,
+            prior_site=reverse,
+            thread=threading.current_thread().name,
+        )
+
+    def note_released(self, lock: "CheckedLock", all_levels: bool = False) -> None:
+        """Pop ``lock`` from the holder stack (last occurrence first)."""
+        stack = self._stack()
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] is lock:
+                del stack[position]
+                if not all_levels:
+                    return
+        # A release of a lock acquired on another thread (permitted for
+        # plain Locks) just isn't tracked — nothing to pop here.
+
+
+_default_tracker = LockOrderTracker()
+
+
+def get_tracker() -> LockOrderTracker:
+    """The tracker new :class:`CheckedLock` instances attach to."""
+    return _default_tracker
+
+
+class CheckedLock:
+    """A ``threading.Lock``/``RLock`` that reports to a tracker.
+
+    Drop-in for the stdlib primitives (``acquire``/``release``/context
+    manager/``locked``), including use as the lock behind a
+    ``threading.Condition`` — the ``_is_owned``/``_release_save``/
+    ``_acquire_restore`` protocol keeps the holder stack consistent
+    across ``Condition.wait`` releasing and re-acquiring.
+    """
+
+    def __init__(
+        self,
+        reentrant: bool = False,
+        name: Optional[str] = None,
+        tracker: Optional[LockOrderTracker] = None,
+    ) -> None:
+        self._inner: Any = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self.reentrant = reentrant
+        self.order_name = name if name is not None else _call_site(2)
+        self._tracker = tracker if tracker is not None else get_tracker()
+
+    # ------------------------------------------------------------------
+    # Lock protocol
+    # ------------------------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if acquired:
+            self._tracker.note_acquired(self, _call_site(2))
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._tracker.note_released(self)
+
+    def __enter__(self) -> bool:
+        acquired = bool(self._inner.acquire())
+        if acquired:
+            self._tracker.note_acquired(self, _call_site(2))
+        return acquired
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        if inner_locked is not None:
+            return bool(inner_locked())
+        # RLock before 3.12 has no locked(); probe non-destructively.
+        if self._inner.acquire(False):  # pragma: no cover - version shim
+            self._inner.release()
+            return False
+        return True  # pragma: no cover - version shim
+
+    def _at_fork_reinit(self) -> None:
+        self._inner._at_fork_reinit()
+
+    # ------------------------------------------------------------------
+    # Condition-variable protocol (used when this lock backs a
+    # threading.Condition): wait() fully releases and later restores.
+    # ------------------------------------------------------------------
+    def _release_save(self) -> Any:
+        state = (
+            self._inner._release_save()
+            if hasattr(self._inner, "_release_save")
+            else (self._inner.release() or None)
+        )
+        self._tracker.note_released(self, all_levels=True)
+        return state
+
+    def _acquire_restore(self, state: Any) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        # Re-acquisition after wait() re-establishes orders the thread
+        # already exhibited before waiting; record without raising (a
+        # raise inside Condition.wait would strand the condition).
+        stack = self._tracker._stack()
+        stack.append(self)
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return bool(self._inner._is_owned())
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"CheckedLock({kind}, site={self.order_name!r})"
+
+
+# ----------------------------------------------------------------------
+# Monkeypatch installation
+# ----------------------------------------------------------------------
+def _caller_module(depth: int = 2) -> str:
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:  # pragma: no cover - shallow stack
+        return ""
+    return str(frame.f_globals.get("__name__", ""))
+
+
+def _in_packages(module: str, packages: Tuple[str, ...]) -> bool:
+    top = module.split(".", 1)[0]
+    return top in packages
+
+
+_install_depth = 0
+_saved: Dict[str, Any] = {}
+_active_tracker: Optional[LockOrderTracker] = None
+
+
+def install(
+    packages: Tuple[str, ...] = ("repro",),
+    tracker: Optional[LockOrderTracker] = None,
+) -> LockOrderTracker:
+    """Patch ``threading`` so project-created locks are checked.
+
+    Only calls whose *caller* module sits under ``packages`` get a
+    :class:`CheckedLock`; everything else receives the real primitive.
+    ``threading.Condition()`` created by project code with no explicit
+    lock gets a checked reentrant lock so the batcher's condition
+    participates in order tracking.  Nested installs share the first
+    install's tracker; :func:`uninstall` restores the real factories
+    when the outermost install unwinds.
+    """
+    global _install_depth, _active_tracker
+    if _install_depth > 0:
+        _install_depth += 1
+        if _active_tracker is None:  # pragma: no cover - depth>0 implies set
+            raise RuntimeError("lockcheck install depth out of sync")
+        return _active_tracker
+    active = tracker if tracker is not None else get_tracker()
+    _active_tracker = active
+    _saved["Lock"] = threading.Lock
+    _saved["RLock"] = threading.RLock
+    _saved["Condition"] = threading.Condition
+
+    def make_lock() -> Any:
+        if _in_packages(_caller_module(2), packages):
+            return CheckedLock(
+                reentrant=False, name=_call_site(2), tracker=active
+            )
+        return _REAL_LOCK()
+
+    def make_rlock() -> Any:
+        if _in_packages(_caller_module(2), packages):
+            return CheckedLock(
+                reentrant=True, name=_call_site(2), tracker=active
+            )
+        return _REAL_RLOCK()
+
+    def make_condition(lock: Any = None) -> Any:
+        if lock is None and _in_packages(_caller_module(2), packages):
+            lock = CheckedLock(
+                reentrant=True, name=_call_site(2), tracker=active
+            )
+        return _REAL_CONDITION(lock)
+
+    # setattr (not plain assignment) keeps the module's declared types
+    # out of it: the factories intentionally do not share a signature
+    # with the C-level primitives they stand in for.
+    setattr(threading, "Lock", make_lock)
+    setattr(threading, "RLock", make_rlock)
+    setattr(threading, "Condition", make_condition)
+    _install_depth = 1
+    return active
+
+
+def uninstall() -> None:
+    """Undo one :func:`install`; restores ``threading`` at depth zero."""
+    global _install_depth, _active_tracker
+    if _install_depth == 0:
+        return
+    _install_depth -= 1
+    if _install_depth == 0:
+        setattr(threading, "Lock", _saved["Lock"])
+        setattr(threading, "RLock", _saved["RLock"])
+        setattr(threading, "Condition", _saved["Condition"])
+        _active_tracker = None
+
+
+@contextlib.contextmanager
+def installed(
+    packages: Tuple[str, ...] = ("repro",),
+    tracker: Optional[LockOrderTracker] = None,
+) -> Iterator[LockOrderTracker]:
+    """Context-managed :func:`install`/:func:`uninstall` pair.
+
+    Yields a **fresh** tracker by default so each ``with`` block (each
+    test) starts with an empty observed-order graph — orders observed
+    by one test must not convict an unrelated later test.
+    """
+    active = tracker if tracker is not None else LockOrderTracker()
+    install(packages=packages, tracker=active)
+    try:
+        yield active
+    finally:
+        uninstall()

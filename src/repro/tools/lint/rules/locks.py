@@ -7,17 +7,17 @@ checks: *if an attribute is ever mutated under* ``with self._lock:``,
 *every* mutation of it must hold that lock.  A single unguarded write
 is a data race that no test reliably catches.
 
-Mechanics, per class:
-
-1. find lock attributes: ``self.X = threading.Lock()`` (also
-   ``RLock`` / ``Condition``, with or without the ``threading.``
-   prefix) assigned anywhere in the class;
-2. collect the *guarded set*: every ``self.Y`` that is assigned,
-   aug-assigned, deleted, or mutated through a known mutating method
-   (``append`` / ``pop`` / ``setdefault`` / ...) inside a
-   ``with self.X:`` block;
-3. flag any such write to a guarded attribute outside a ``with``
-   holding one of the class's locks.
+The guard-set inference itself lives in the concurrency analyzer's
+symbol table (:mod:`repro.tools.analyze.symbols`): lock-attribute
+discovery, write collection (assignments, aug-assignments, deletes and
+mutating method calls), and held-lock tracking through ``with self.X:``
+bodies are all computed there, once, and shared with the project-wide
+analyses (``GUARD-VIOLATION`` / ``LOCK-ORDER-CYCLE``).  This rule is
+the per-file, writes-only subset of that machinery: it flags a write to
+a guarded attribute made while holding *no* class lock.  The analyzer's
+``GUARD-VIOLATION`` is the stricter superset (reads too, and
+wrong-lock accesses); keeping this rule separate keeps its ID — and
+every existing suppression and baseline fingerprint — stable.
 
 Two escapes encode legitimate patterns: ``__init__`` / ``__new__`` are
 exempt (no concurrent readers can exist before the constructor
@@ -28,124 +28,12 @@ called with the lock already held — the convention
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, Set, Tuple
 
+from ...analyze.symbols import ClassInfo, SymbolTable
 from ..engine import Finding, LintContext, Rule
 
 __all__ = ["LockDisciplineRule"]
-
-_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
-
-# Method names that mutate their receiver in place.
-_MUTATORS = frozenset(
-    {
-        "append",
-        "appendleft",
-        "extend",
-        "extendleft",
-        "insert",
-        "remove",
-        "pop",
-        "popleft",
-        "popitem",
-        "clear",
-        "update",
-        "setdefault",
-        "add",
-        "discard",
-        "sort",
-        "reverse",
-        "move_to_end",
-        "rotate",
-    }
-)
-
-_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
-
-
-def _is_lock_factory(node: ast.AST) -> bool:
-    """``threading.Lock()`` / ``Lock()`` (and RLock/Condition)."""
-    if not isinstance(node, ast.Call):
-        return False
-    func = node.func
-    if isinstance(func, ast.Attribute):
-        return func.attr in _LOCK_FACTORIES
-    if isinstance(func, ast.Name):
-        return func.id in _LOCK_FACTORIES
-    return False
-
-
-def _self_attr_root(node: ast.AST) -> Optional[str]:
-    """The ``X`` in a chain rooted at ``self.X`` (through subscripts,
-    attribute hops and call results), else ``None``."""
-    while True:
-        if isinstance(node, ast.Attribute):
-            if isinstance(node.value, ast.Name) and node.value.id == "self":
-                return node.attr
-            node = node.value
-        elif isinstance(node, ast.Subscript):
-            node = node.value
-        elif isinstance(node, ast.Call):
-            node = node.func
-        else:
-            return None
-
-
-def _with_held_locks(node: ast.With, lock_attrs: Set[str]) -> Set[str]:
-    """Which of the class's locks a ``with`` statement acquires."""
-    held: Set[str] = set()
-    for item in node.items:
-        root = _self_attr_root(item.context_expr)
-        if root in lock_attrs:
-            held.add(root)
-    return held
-
-
-class _WriteCollector:
-    """Walk one method body tracking whether a class lock is held."""
-
-    def __init__(self, lock_attrs: Set[str]):
-        self.lock_attrs = lock_attrs
-        # (attr, node, locked) for every self.X write encountered.
-        self.writes: List[Tuple[str, ast.AST, bool]] = []
-
-    def collect(self, body: List[ast.stmt]) -> None:
-        for stmt in body:
-            self._visit(stmt, locked=False)
-
-    def _visit(self, node: ast.AST, locked: bool) -> None:
-        if isinstance(node, ast.With):
-            inner = locked or bool(_with_held_locks(node, self.lock_attrs))
-            for stmt in node.body:
-                self._visit(stmt, inner)
-            return
-        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
-            targets = (
-                node.targets
-                if isinstance(node, ast.Assign)
-                else [node.target]
-            )
-            for target in targets:
-                root = _self_attr_root(target)
-                if root is not None and root not in self.lock_attrs:
-                    self.writes.append((root, node, locked))
-        elif isinstance(node, ast.Delete):
-            for target in node.targets:
-                root = _self_attr_root(target)
-                if root is not None and root not in self.lock_attrs:
-                    self.writes.append((root, node, locked))
-        elif isinstance(node, ast.Call):
-            # Mutating method calls count as writes wherever they appear
-            # (statement or expression position: `self._q.append(...)`,
-            # `slot = self._memory.setdefault(...)`, ...).
-            func = node.func
-            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
-                root = _self_attr_root(func.value)
-                if root is not None and root not in self.lock_attrs:
-                    self.writes.append((root, node, locked))
-        for child in ast.iter_child_nodes(node):
-            self._visit(child, locked)
 
 
 class LockDisciplineRule(Rule):
@@ -156,54 +44,49 @@ class LockDisciplineRule(Rule):
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ClassDef):
-                yield from self._check_class(ctx, node)
+        table = SymbolTable.build([ctx])
+        for cls in table.classes.values():
+            if cls.path == ctx.path:
+                yield from self._check_class(ctx, cls)
 
     def _check_class(
-        self, ctx: LintContext, cls: ast.ClassDef
+        self, ctx: LintContext, cls: ClassInfo
     ) -> Iterator[Finding]:
-        lock_attrs: Set[str] = set()
-        for node in ast.walk(cls):
-            if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
-                for target in node.targets:
-                    root = _self_attr_root(target)
-                    if root is not None:
-                        lock_attrs.add(root)
-        if not lock_attrs:
+        if not cls.lock_attrs:
             return
-
-        methods = [
-            stmt
-            for stmt in cls.body
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
-        per_method: List[Tuple[ast.FunctionDef, _WriteCollector]] = []
-        guarded: Set[str] = set()
-        for method in methods:
-            collector = _WriteCollector(lock_attrs)
-            collector.collect(method.body)
-            per_method.append((method, collector))
-            for attr, _node, locked in collector.writes:
-                if locked:
-                    guarded.add(attr)
-
+        guarded = cls.guarded_attrs()
+        if not guarded:
+            return
+        default_lock = sorted(cls.lock_attrs)[0]
         reported: Set[Tuple[str, int]] = set()
-        for method, collector in per_method:
-            if method.name in _EXEMPT_METHODS:
+        for method in cls.methods.values():
+            if method.exempt:
                 continue
-            if method.name.endswith("_locked"):
-                continue
-            for attr, node, locked in collector.writes:
-                key = (attr, getattr(node, "lineno", 0))
-                if attr in guarded and not locked and key not in reported:
-                    reported.add(key)
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"`self.{attr}` is mutated under a lock elsewhere "
-                        f"in `{cls.name}` but written here without holding "
-                        "one; wrap in `with self."
-                        f"{sorted(lock_attrs)[0]}:` (or rename the method "
-                        "*_locked if callers hold it)",
-                    )
+            for access in method.accesses:
+                if access.kind != "write" or access.attr not in guarded:
+                    continue
+                if access.held:
+                    # The old rule accepted *any* class lock here; the
+                    # wrong-lock case is GUARD-VIOLATION's to report.
+                    continue
+                key = (access.attr, access.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                source_line = ""
+                if 1 <= access.line <= len(ctx.lines):
+                    source_line = ctx.lines[access.line - 1]
+                yield Finding(
+                    path=ctx.path,
+                    line=access.line,
+                    col=access.col,
+                    rule=self.name,
+                    message=(
+                        f"`self.{access.attr}` is mutated under a lock "
+                        f"elsewhere in `{cls.name}` but written here "
+                        "without holding one; wrap in `with self."
+                        f"{default_lock}:` (or rename the method *_locked "
+                        "if callers hold it)"
+                    ),
+                    source_line=source_line,
+                )

@@ -1,0 +1,20 @@
+"""Load-generator tests run under the runtime lock-order sanitizer.
+
+See ``tests/serve/conftest.py`` for the rationale; the load generator
+drives the whole serving stack from many worker threads at once, which
+is exactly the traffic shape that exposes acquisition-order bugs.
+"""
+
+import pytest
+
+from repro.tools.analyze import lockcheck
+
+
+@pytest.fixture(autouse=True)
+def lock_order_sanitizer():
+    tracker = lockcheck.LockOrderTracker(raise_on_inversion=False)
+    with lockcheck.installed(tracker=tracker):
+        yield tracker
+    assert not tracker.inversions, "\n".join(
+        inversion.describe() for inversion in tracker.inversions
+    )

@@ -1,0 +1,20 @@
+"""Telemetry tests run under the runtime lock-order sanitizer.
+
+See ``tests/serve/conftest.py`` for the rationale; the metrics
+registry, phase timers and tracer all take locks on hot paths, so this
+package exercises the sanitizer against the instrument panel.
+"""
+
+import pytest
+
+from repro.tools.analyze import lockcheck
+
+
+@pytest.fixture(autouse=True)
+def lock_order_sanitizer():
+    tracker = lockcheck.LockOrderTracker(raise_on_inversion=False)
+    with lockcheck.installed(tracker=tracker):
+        yield tracker
+    assert not tracker.inversions, "\n".join(
+        inversion.describe() for inversion in tracker.inversions
+    )

@@ -1,0 +1,205 @@
+"""Runtime lock-order sanitizer: CheckedLock and install().
+
+The deliberate two-lock inversion fixture here is the acceptance
+criterion for the sanitizer: with it on, opposite-order acquisition
+fails loudly (raises in the acquiring thread *and* is recorded on the
+tracker) even though no actual deadlock occurs.
+"""
+
+import threading
+
+import pytest
+
+from repro.tools.analyze import lockcheck
+from repro.tools.analyze.lockcheck import (
+    CheckedLock,
+    LockOrderError,
+    LockOrderTracker,
+)
+
+
+@pytest.fixture()
+def tracker():
+    return LockOrderTracker()
+
+
+def make_pair(tracker):
+    a = CheckedLock(name="a", tracker=tracker)
+    b = CheckedLock(name="b", tracker=tracker)
+    return a, b
+
+
+class TestCheckedLock:
+    def test_well_ordered_acquisitions_pass(self, tracker):
+        a, b = make_pair(tracker)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert tracker.inversions == []
+        assert ("a", "b") in tracker.edges()
+
+    def test_single_thread_inversion_raises_and_rolls_back(self, tracker):
+        a, b = make_pair(tracker)
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderError, match="inversion"):
+            with b:
+                with a:
+                    pass
+        assert len(tracker.inversions) == 1
+        inversion = tracker.inversions[0]
+        assert (inversion.first, inversion.second) == ("b", "a")
+        # The failed acquisition was rolled back: both locks reacquire.
+        assert not a.locked() and not b.locked()
+        with a:
+            pass
+
+    def test_two_thread_inversion_is_caught(self, tracker):
+        # The deliberate deadlock fixture: thread one exhibits a -> b,
+        # the main thread then tries b -> a.  Sequenced so the test
+        # never actually deadlocks — the sanitizer flags the *order*,
+        # not the unlucky interleaving.
+        a, b = make_pair(tracker)
+        errors = []
+
+        def first_order():
+            try:
+                with a:
+                    with b:
+                        pass
+            except LockOrderError as exc:  # pragma: no cover - not expected
+                errors.append(exc)
+
+        worker = threading.Thread(target=first_order, name="order-ab")
+        worker.start()
+        worker.join()
+        assert errors == []
+        with pytest.raises(LockOrderError):
+            with b:
+                with a:
+                    pass
+        assert len(tracker.inversions) == 1
+        assert tracker.inversions[0].thread == threading.current_thread().name
+
+    def test_recording_mode_collects_without_raising(self):
+        tracker = LockOrderTracker(raise_on_inversion=False)
+        a, b = make_pair(tracker)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert len(tracker.inversions) == 1
+        assert "inversion" in tracker.inversions[0].describe()
+
+    def test_reentrant_lock_self_reentry_is_not_an_inversion(self, tracker):
+        r = CheckedLock(reentrant=True, name="r", tracker=tracker)
+        with r:
+            with r:
+                pass
+        assert tracker.inversions == []
+        assert tracker.edges() == {}
+
+    def test_acquire_release_protocol(self, tracker):
+        a = CheckedLock(name="a", tracker=tracker)
+        assert a.acquire()
+        assert a.locked()
+        assert not a.acquire(blocking=False)
+        a.release()
+        assert not a.locked()
+        assert tracker.held_names() == []
+
+    def test_condition_wait_keeps_holder_stack_consistent(self, tracker):
+        cond = threading.Condition(
+            CheckedLock(reentrant=True, name="cond", tracker=tracker)
+        )
+        ready = []
+
+        def consumer():
+            with cond:
+                while not ready:
+                    cond.wait(timeout=5.0)
+
+        worker = threading.Thread(target=consumer)
+        worker.start()
+        with cond:
+            ready.append(1)
+            cond.notify_all()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert tracker.inversions == []
+        assert tracker.held_names() == []
+
+
+class TestInstall:
+    def test_project_locks_are_checked_others_raw(self):
+        with lockcheck.installed() as tracker:
+            # A caller whose module lives under the repro package gets
+            # a CheckedLock from the patched factory ...
+            scope = {"__name__": "repro.fake.module", "threading": threading}
+            exec("made = threading.Lock()", scope)
+            assert isinstance(scope["made"], CheckedLock)
+            assert scope["made"]._tracker is tracker
+            # ... while this test module (not under repro) gets the
+            # real primitive.
+            assert not isinstance(threading.Lock(), CheckedLock)
+
+    def test_condition_default_lock_is_checked_for_project_code(self):
+        with lockcheck.installed():
+            scope = {"__name__": "repro.fake.module", "threading": threading}
+            exec("cond = threading.Condition()", scope)
+            assert isinstance(scope["cond"]._lock, CheckedLock)
+            assert scope["cond"]._lock.reentrant
+
+    def test_uninstall_restores_threading(self):
+        real_lock = threading.Lock
+        real_rlock = threading.RLock
+        real_condition = threading.Condition
+        with lockcheck.installed():
+            assert threading.Lock is not real_lock
+        assert threading.Lock is real_lock
+        assert threading.RLock is real_rlock
+        assert threading.Condition is real_condition
+
+    def test_nested_installs_share_the_outer_tracker(self):
+        with lockcheck.installed() as outer:
+            inner = lockcheck.install()
+            try:
+                assert inner is outer
+            finally:
+                lockcheck.uninstall()
+            # Still installed after the nested uninstall.
+            scope = {"__name__": "repro.fake.module", "threading": threading}
+            exec("made = threading.Lock()", scope)
+            assert isinstance(scope["made"], CheckedLock)
+
+    def test_each_installed_block_gets_a_fresh_tracker(self):
+        with lockcheck.installed() as first:
+            pass
+        with lockcheck.installed() as second:
+            pass
+        assert first is not second
+
+    def test_end_to_end_inversion_under_install(self):
+        tracker = LockOrderTracker(raise_on_inversion=False)
+        with lockcheck.installed(tracker=tracker):
+            scope = {"__name__": "repro.fake.module", "threading": threading}
+            exec(
+                "\n".join(
+                    [
+                        "a = threading.Lock()",
+                        "b = threading.Lock()",
+                        "with a:",
+                        "    with b:",
+                        "        pass",
+                        "with b:",
+                        "    with a:",
+                        "        pass",
+                    ]
+                ),
+                scope,
+            )
+        assert len(tracker.inversions) == 1
