@@ -1022,6 +1022,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .tools.analyze.cli import main as analyze_main
 
         return analyze_main(raw[1:])
+    if raw and raw[0] == "linkcheck":
+        from .tools.linkcheck import main as linkcheck_main
+
+        return linkcheck_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.experiment in _TOOL_COMMANDS:
         _TOOL_COMMANDS[args.experiment](args)

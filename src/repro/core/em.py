@@ -35,9 +35,12 @@ __all__ = [
     "mixing_from_stats",
     "update_precisions",
     "update_mixing_coefficients",
+    "suffstats_from_responsibilities",
     "merge_plan",
     "merge_similar_components",
     "em_step",
+    "em_step_from_responsibilities",
+    "em_step_from_stats",
     "gm_loss_terms",
 ]
 
@@ -222,6 +225,35 @@ def update_mixing_coefficients(
     )
 
 
+def suffstats_from_responsibilities(
+    responsibilities: np.ndarray,
+    w: np.ndarray,
+    accumulate_dtype: "np.dtype[Any]" = np.dtype(np.float64),
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The two M-step sufficient statistics from a responsibility matrix.
+
+    Returns ``(resp_sum, weighted_sq)`` — ``sum_m r_k(w_m)`` and
+    ``sum_m r_k(w_m) w_m^2`` — accumulated in ``accumulate_dtype``.
+    This is the accumulation half of :func:`update_precisions` /
+    :func:`update_mixing_coefficients`, split out so the fused hot path
+    (which may hold float32 responsibilities) can choose float64
+    accumulation explicitly; with float64 inputs it reproduces the
+    unfused arithmetic bit-for-bit.
+    """
+    accumulate_dtype = np.dtype(accumulate_dtype)
+    w = np.asarray(w).reshape(-1)
+    if responsibilities.dtype == accumulate_dtype:
+        resp_sum = responsibilities.sum(axis=0)
+        w = w.astype(accumulate_dtype, copy=False)
+        weighted_sq = responsibilities.T @ (w * w)
+    else:
+        resp = responsibilities.astype(accumulate_dtype)
+        resp_sum = resp.sum(axis=0)
+        w = w.astype(accumulate_dtype, copy=False)
+        weighted_sq = resp.T @ (w * w)
+    return resp_sum, weighted_sq
+
+
 def merge_plan(
     pi: np.ndarray,
     lam: np.ndarray,
@@ -312,8 +344,82 @@ def em_step(
     """
     w = np.asarray(w, dtype=np.float64).reshape(-1)
     resp = mixture.responsibilities(w)
-    lam = update_precisions(resp, w, a=a, b=b)
-    pi = update_mixing_coefficients(resp, alpha=alpha, prune=prune)
+    return em_step_from_responsibilities(
+        mixture,
+        w,
+        resp,
+        alpha=alpha,
+        a=a,
+        b=b,
+        prune=prune,
+        merge=merge,
+        merge_rel_tol=merge_rel_tol,
+    )
+
+
+def em_step_from_responsibilities(
+    mixture: GaussianMixture,
+    w: np.ndarray,
+    responsibilities: np.ndarray,
+    alpha: np.ndarray,
+    a: float,
+    b: float,
+    prune: bool = True,
+    merge: bool = True,
+    merge_rel_tol: float = 0.02,
+) -> GaussianMixture:
+    """M-step given responsibilities already computed for ``(mixture, w)``.
+
+    The fused hot path computes Equation (9) once per iteration and
+    shares it between the regularizer gradient (Equation (10)) and this
+    M-step; :func:`em_step` is exactly this function fed a fresh E-step.
+    With float64 responsibilities the result is bit-identical to
+    :func:`em_step` on the same inputs.
+    """
+    w = np.asarray(w, dtype=np.float64).reshape(-1)
+    resp_sum, weighted_sq = suffstats_from_responsibilities(
+        responsibilities, w
+    )
+    return em_step_from_stats(
+        mixture,
+        resp_sum,
+        weighted_sq,
+        alpha=alpha,
+        a=a,
+        b=b,
+        prune=prune,
+        merge=merge,
+        merge_rel_tol=merge_rel_tol,
+    )
+
+
+def em_step_from_stats(
+    mixture: GaussianMixture,
+    resp_sum: np.ndarray,
+    weighted_sq: np.ndarray,
+    alpha: np.ndarray,
+    a: float,
+    b: float,
+    prune: bool = True,
+    merge: bool = True,
+    merge_rel_tol: float = 0.02,
+) -> GaussianMixture:
+    """M-step evaluated directly on the two sufficient statistics.
+
+    ``mixture`` is only consulted for its component count sanity check;
+    the update itself is Equations (13)/(17) on ``resp_sum`` /
+    ``weighted_sq`` followed by the same prune/merge post-processing as
+    :func:`em_step`.
+    """
+    resp_sum = np.asarray(resp_sum, dtype=np.float64).reshape(-1)
+    weighted_sq = np.asarray(weighted_sq, dtype=np.float64).reshape(-1)
+    if resp_sum.shape[0] != mixture.n_components:
+        raise ValueError(
+            f"statistics carry {resp_sum.shape[0]} components, mixture "
+            f"has {mixture.n_components}"
+        )
+    lam = precisions_from_stats(resp_sum, weighted_sq, a=a, b=b)
+    pi = mixing_from_stats(resp_sum, alpha=alpha, prune=prune)
     keep = pi > 0.0
     if not np.all(keep) and keep.sum() >= 1:
         pi = pi[keep] / pi[keep].sum()

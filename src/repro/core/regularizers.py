@@ -90,9 +90,11 @@ class NoRegularizer(Regularizer):
     """The unregularized baseline (first row of Table VI)."""
 
     def penalty(self, w: np.ndarray) -> float:
+        """Always ``0.0`` — no penalty term."""
         return 0.0
 
     def gradient(self, w: np.ndarray) -> np.ndarray:
+        """A zero vector shaped like ``w``."""
         return np.zeros_like(w)
 
     def __repr__(self) -> str:
@@ -112,9 +114,11 @@ class L1Regularizer(Regularizer):
         self.strength = float(strength)
 
     def penalty(self, w: np.ndarray) -> float:
+        """``strength * sum |w_m|``."""
         return self.strength * float(np.abs(w).sum())
 
     def gradient(self, w: np.ndarray) -> np.ndarray:
+        """Subgradient ``strength * sign(w)`` (zero at ``w_m = 0``)."""
         return self.strength * np.sign(w)
 
     def __repr__(self) -> str:
@@ -135,9 +139,11 @@ class L2Regularizer(Regularizer):
         self.strength = float(strength)
 
     def penalty(self, w: np.ndarray) -> float:
+        """``(strength / 2) * sum w_m^2``."""
         return 0.5 * self.strength * float(np.square(w).sum())
 
     def gradient(self, w: np.ndarray) -> np.ndarray:
+        """``strength * w`` — the weight-decay term."""
         return self.strength * w
 
     def __repr__(self) -> str:
@@ -162,11 +168,13 @@ class ElasticNetRegularizer(Regularizer):
         self.l1_ratio = float(l1_ratio)
 
     def penalty(self, w: np.ndarray) -> float:
+        """The ``l1_ratio``-weighted mix of the L1 and L2 penalties."""
         l1 = float(np.abs(w).sum())
         l2 = float(np.square(w).sum())
         return self.strength * (self.l1_ratio * l1 + 0.5 * (1.0 - self.l1_ratio) * l2)
 
     def gradient(self, w: np.ndarray) -> np.ndarray:
+        """The matching mix of ``sign(w)`` and ``w`` terms."""
         return self.strength * (
             self.l1_ratio * np.sign(w) + (1.0 - self.l1_ratio) * w
         )
@@ -201,12 +209,14 @@ class HuberRegularizer(Regularizer):
         self.mu = float(mu)
 
     def penalty(self, w: np.ndarray) -> float:
+        """Sum of the per-element Huber losses ``h(w_m)`` above."""
         a = np.abs(w)
         quad = np.square(w) / (2.0 * self.mu)
         lin = a - 0.5 * self.mu
         return self.strength * float(np.where(a <= self.mu, quad, lin).sum())
 
     def gradient(self, w: np.ndarray) -> np.ndarray:
+        """``w / mu`` inside the threshold, ``sign(w)`` outside."""
         a = np.abs(w)
         quad_grad = w / self.mu
         lin_grad = np.sign(w)

@@ -51,6 +51,11 @@ def gm_regularizer_to_dict(reg: GMRegularizer) -> Dict[str, Any]:
         "epoch": reg._epoch,
         "estep_count": reg.estep_count,
         "mstep_count": reg.mstep_count,
+        "density_evals": reg.density_evals,
+        "fused": reg.fused,
+        "kernel": reg.kernel,
+        "compute_dtype": reg.compute_dtype.name,
+        "accumulate_dtype": reg.accumulate_dtype.name,
         "cached_reg_grad": (
             None if reg._cached_reg_grad is None
             else reg._cached_reg_grad.tolist()
@@ -75,6 +80,12 @@ def gm_regularizer_from_dict(state: Dict[str, Any]) -> GMRegularizer:
         schedule=schedule,
         prune_components=bool(state["prune_components"]),
         merge_components=bool(state["merge_components"]),
+        # Checkpoints written before the fused hot path restore to the
+        # (bit-identical) fused exact configuration.
+        fused=bool(state.get("fused", True)),
+        kernel=state.get("kernel", "exact"),
+        compute_dtype=np.dtype(state.get("compute_dtype", "float64")),
+        accumulate_dtype=np.dtype(state.get("accumulate_dtype", "float64")),
     )
     reg.mixture = GaussianMixture(
         pi=np.asarray(state["mixture"]["pi"]),
@@ -83,6 +94,7 @@ def gm_regularizer_from_dict(state: Dict[str, Any]) -> GMRegularizer:
     reg._epoch = int(state["epoch"])
     reg._n_estep = int(state["estep_count"])
     reg._n_mstep = int(state["mstep_count"])
+    reg._n_density_evals = int(state.get("density_evals", 0))
     cached = state["cached_reg_grad"]
     reg._cached_reg_grad = (
         None if cached is None else np.asarray(cached, dtype=np.float64)

@@ -201,6 +201,7 @@ def _gm_factory(
     alpha_exponent: float,
     init_method: str,
     schedule: Optional[LazyUpdateSchedule],
+    reg_kwargs: Optional[Dict] = None,
 ):
     """One GM regularizer per layer, calibrated to its init std."""
     def factory(name: str, m: int, weight_init_std: float) -> Regularizer:
@@ -212,6 +213,7 @@ def _gm_factory(
             hyperparams=hp,
             init_method=init_method,
             schedule=schedule,
+            **(reg_kwargs or {}),
         )
     return factory
 
@@ -225,6 +227,9 @@ def train_deep(
     schedule: Optional[LazyUpdateSchedule] = None,
     data: Optional[ImageDataset] = None,
     callbacks=None,
+    reg_kwargs: Optional[Dict] = None,
+    trainer_kwargs: Optional[Dict] = None,
+    model_dtype=None,
 ) -> DeepResult:
     """Train one model under one regularization mode.
 
@@ -240,6 +245,18 @@ def train_deep(
     callbacks:
         Optional :class:`~repro.telemetry.events.Callback` observers
         forwarded to :meth:`Trainer.fit`.
+    reg_kwargs:
+        Extra :class:`~repro.core.GMRegularizer` keyword arguments — the
+        hot-path benchmark toggles ``fused``/``kernel``/``compute_dtype``
+        here.
+    trainer_kwargs:
+        Extra :class:`~repro.optim.Trainer` keyword arguments (e.g.
+        ``stacked_em=False`` for the unfused baseline).
+    model_dtype:
+        Optional dtype the network is cast to after construction
+        (``np.float32`` for the reduced-precision fast path); parameters
+        are initialized in float64 first so both precisions start from
+        identical values.
     """
     if method not in ("none", "l2", "gm"):
         raise ValueError(f"method must be none/l2/gm, got {method!r}")
@@ -247,17 +264,23 @@ def train_deep(
         gamma = DEFAULT_GAMMA[config.model]
     data = data or load_image_data(config)
     model = build_model(config)
+    if model_dtype is not None:
+        model.to_dtype(np.dtype(model_dtype))
     if method == "l2":
         model.attach_regularizers(_expert_l2_factory(config))
     elif method == "gm":
         model.attach_regularizers(
-            _gm_factory(config, gamma, alpha_exponent, init_method, schedule)
+            _gm_factory(
+                config, gamma, alpha_exponent, init_method, schedule,
+                reg_kwargs,
+            )
         )
     trainer = Trainer(
         model,
         lr=config.effective_lr,
         momentum=config.momentum,
         batch_size=config.batch_size,
+        **(trainer_kwargs or {}),
     )
     augment = make_augmenter(pad=max(1, config.image_size // 8)) \
         if config.effective_augment else None

@@ -5,13 +5,25 @@ computation to matrix multiplication via the classic im2col transform
 (as Caffe and SINGA do on CPU).  ``im2col`` unfolds ``(N, C, H, W)``
 input into a ``(N * out_h * out_w, C * kh * kw)`` patch matrix;
 ``col2im`` scatters patch-space gradients back, summing overlaps.
+
+Both transforms accept an optional
+:class:`~repro.core.fusion.Workspace`: the patch matrix is ``k^2``
+times larger than the activation it unfolds, so reallocating it every
+iteration dominated the layers' allocation traffic.  With a workspace
+the same buffers are reused across iterations (keyed per call site);
+the values produced are identical either way — buffer reuse changes
+*where* results are written, never *what* is computed.  A returned
+array may be a view into its workspace and stays valid until the next
+call with the same ``(workspace, key)`` pair.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Hashable, Optional, Tuple
 
 import numpy as np
+
+from ..core.fusion import Workspace
 
 __all__ = ["conv_output_size", "im2col", "col2im"]
 
@@ -28,7 +40,13 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    workspace: Optional[Workspace] = None,
+    key: Hashable = "im2col",
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold sliding windows into rows.
 
@@ -36,19 +54,45 @@ def im2col(
     -------
     (col, out_h, out_w):
         ``col`` has shape ``(N * out_h * out_w, C * kh * kw)``; rows
-        iterate images first, then output positions row-major.
+        iterate images first, then output positions row-major.  With a
+        ``workspace`` the array is a reused buffer (valid until the next
+        call under the same key), otherwise freshly allocated.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kh, stride, pad)
     out_w = conv_output_size(w, kw, stride, pad)
-    img = np.pad(x, [(0, 0), (0, 0), (pad, pad), (pad, pad)], mode="constant")
-    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    if pad > 0:
+        if workspace is None:
+            img = np.pad(
+                x, [(0, 0), (0, 0), (pad, pad), (pad, pad)], mode="constant"
+            )
+        else:
+            img = workspace.zeros(
+                (key, "pad"), (n, c, h + 2 * pad, w + 2 * pad), x.dtype
+            )
+            img[:, :, pad : pad + h, pad : pad + w] = x
+    else:
+        img = x
+    shape6 = (n, c, kh, kw, out_h, out_w)
+    if workspace is None:
+        col6 = np.empty(shape6, dtype=x.dtype)
+    else:
+        col6 = workspace.get((key, "col6"), shape6, x.dtype)
     for dy in range(kh):
         y_end = dy + stride * out_h
         for dx in range(kw):
             x_end = dx + stride * out_w
-            col[:, :, dy, dx, :, :] = img[:, :, dy:y_end:stride, dx:x_end:stride]
-    col = col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+            col6[:, :, dy, dx, :, :] = img[:, :, dy:y_end:stride, dx:x_end:stride]
+    rows = n * out_h * out_w
+    cols = c * kh * kw
+    if workspace is None:
+        col = col6.transpose(0, 4, 5, 1, 2, 3).reshape(rows, cols)
+    else:
+        col = workspace.get((key, "col"), (rows, cols), x.dtype)
+        np.copyto(
+            col.reshape(n, out_h, out_w, c, kh, kw),
+            col6.transpose(0, 4, 5, 1, 2, 3),
+        )
     return col, out_h, out_w
 
 
@@ -59,13 +103,24 @@ def col2im(
     kw: int,
     stride: int,
     pad: int,
+    workspace: Optional[Workspace] = None,
+    key: Hashable = "col2im",
 ) -> np.ndarray:
-    """Inverse of :func:`im2col` for gradients (overlaps are summed)."""
+    """Inverse of :func:`im2col` for gradients (overlaps are summed).
+
+    With a ``workspace`` the returned gradient image is a reused buffer
+    (a view when ``pad > 0``), valid until the next call under the same
+    key — the backward chain consumes it immediately.
+    """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kh, stride, pad)
     out_w = conv_output_size(w, kw, stride, pad)
     col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    padded_shape = (n, c, h + 2 * pad, w + 2 * pad)
+    if workspace is None:
+        img = np.zeros(padded_shape, dtype=col.dtype)
+    else:
+        img = workspace.zeros((key, "img"), padded_shape, col.dtype)
     for dy in range(kh):
         y_end = dy + stride * out_h
         for dx in range(kw):

@@ -37,7 +37,8 @@ class Sigmoid(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        out = np.empty_like(x, dtype=np.float64)
+        dtype = x.dtype if x.dtype.kind == "f" else np.dtype(np.float64)
+        out = np.empty_like(x, dtype=dtype)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ez = np.exp(x[~pos])

@@ -48,11 +48,51 @@ class Layer:
 
     # ------------------------------------------------------------------
     def add_param(self, key: str, value: np.ndarray) -> np.ndarray:
-        """Register a trainable array and its zeroed gradient buffer."""
+        """Register a trainable array and its zeroed gradient buffer.
+
+        Parameters are always created in float64 so every precision
+        starts from identical values; :meth:`cast_params` converts an
+        assembled model to a lower compute dtype afterwards.
+        """
         value = np.ascontiguousarray(value, dtype=np.float64)
         self.params[key] = value
         self.grads[key] = np.zeros_like(value)
         return value
+
+    def cast_params(self, dtype: np.dtype) -> None:
+        """Convert every parameter and gradient buffer to ``dtype``.
+
+        The float32 fast path: parameters are initialized in float64
+        (identical starting values across precisions) and cast in place
+        here.  Both the ``params``/``grads`` dicts and any instance
+        attributes aliasing the same arrays (``self.weight`` et al.) are
+        rebound, so layer code keeps working unchanged.  Composite
+        layers recurse into ``children()``; layers holding non-parameter
+        state in other dtypes override :meth:`cast_extras`.
+        """
+        dtype = np.dtype(dtype)
+        children = getattr(self, "children", None)
+        if callable(children):
+            for child in children():
+                child.cast_params(dtype)
+        for key, value in list(self.params.items()):
+            if value.dtype == dtype:
+                continue
+            old_grad = self.grads[key]
+            new_value = np.ascontiguousarray(value, dtype=dtype)
+            new_grad = old_grad.astype(dtype)
+            for attr, ref in list(vars(self).items()):
+                if ref is value:
+                    setattr(self, attr, new_value)
+                elif ref is old_grad:
+                    setattr(self, attr, new_grad)
+            self.params[key] = new_value
+            self.grads[key] = new_grad
+        self.cast_extras(dtype)
+
+    def cast_extras(self, dtype: np.dtype) -> None:
+        """Hook for non-parameter floating state (e.g. batch-norm running
+        statistics); the base layer has none."""
 
     def parameter_items(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
         """``(qualified_name, value, grad)`` triples for the trainer."""

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...core.fusion import Workspace
 from ...rng import default_generator
 from ..im2col import col2im, im2col
 from .base import Layer
@@ -72,6 +73,13 @@ class Conv2D(Layer):
         self.bias = self.add_param("bias", np.zeros(out_channels))
         self._col: Optional[np.ndarray] = None
         self._input_shape: Optional[tuple] = None
+        # Per-layer buffer cache: the im2col patch matrix is k^2 times
+        # the activation size, and reallocating it every iteration
+        # dominated this layer's allocation traffic.  Training and
+        # inference use distinct keys so an eval forward between a
+        # training forward and its backward cannot clobber the cached
+        # patch matrix.
+        self._workspace = Workspace()
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -80,7 +88,11 @@ class Conv2D(Layer):
             )
         n = x.shape[0]
         k = self.kernel_size
-        col, out_h, out_w = im2col(x, k, k, self.stride, self.pad)
+        col, out_h, out_w = im2col(
+            x, k, k, self.stride, self.pad,
+            workspace=self._workspace,
+            key="im2col/train" if training else "im2col/eval",
+        )
         w_mat = self.weight.reshape(self.out_channels, -1).T  # (C*k*k, OC)
         out = col @ w_mat + self.bias
         out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
@@ -97,10 +109,21 @@ class Conv2D(Layer):
             raise RuntimeError(f"{self.name}: backward before training forward")
         k = self.kernel_size
         # (N, OC, OH, OW) -> (N*OH*OW, OC) aligned with im2col rows.
-        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        grad_mat = np.ascontiguousarray(
+            grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        )
         self.grads["weight"][...] = (
             (self._col.T @ grad_mat).T.reshape(self.weight.shape)
         )
         self.grads["bias"][...] = grad_mat.sum(axis=0)
-        grad_col = grad_mat @ self.weight.reshape(self.out_channels, -1)
-        return col2im(grad_col, self._input_shape, k, k, self.stride, self.pad)
+        grad_col = self._workspace.get(
+            ("grad_col",), (grad_mat.shape[0], self._col.shape[1]),
+            grad_mat.dtype,
+        )
+        np.matmul(
+            grad_mat, self.weight.reshape(self.out_channels, -1), out=grad_col
+        )
+        return col2im(
+            grad_col, self._input_shape, k, k, self.stride, self.pad,
+            workspace=self._workspace,
+        )

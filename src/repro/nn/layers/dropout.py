@@ -49,7 +49,8 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.drop_prob
-        mask = (self._rng.random(x.shape) < keep) / keep
+        dtype = x.dtype if x.dtype.kind == "f" else np.dtype(np.float64)
+        mask = (self._rng.random(x.shape) < keep).astype(dtype) / dtype.type(keep)
         self._mask = mask
         return x * mask
 

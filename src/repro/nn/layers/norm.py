@@ -42,6 +42,12 @@ class BatchNorm2D(Layer):
         self.running_var = np.ones(channels)
         self._cache: Optional[dict] = None
 
+    def cast_extras(self, dtype: np.dtype) -> None:
+        """Running statistics follow the compute dtype: left at float64
+        they would silently upcast every inference forward."""
+        self.running_mean = self.running_mean.astype(dtype)
+        self.running_var = self.running_var.astype(dtype)
+
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.channels:
             raise ValueError(

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...core.fusion import Workspace
 from ..im2col import col2im, im2col
 from .base import Layer
 
@@ -25,11 +26,18 @@ class _Pool2D(Layer):
         self.stride = int(stride) if stride is not None else int(window)
         self.pad = int(pad)
         self._cache: Optional[dict] = None
+        # Reused im2col/col2im buffers; train/eval keys kept separate so
+        # a mid-iteration inference pass cannot clobber training state.
+        self._workspace = Workspace()
 
-    def _unfold(self, x: np.ndarray):
+    def _unfold(self, x: np.ndarray, training: bool):
         n, c, h, w = x.shape
         k = self.window
-        col, out_h, out_w = im2col(x, k, k, self.stride, self.pad)
+        col, out_h, out_w = im2col(
+            x, k, k, self.stride, self.pad,
+            workspace=self._workspace,
+            key="im2col/train" if training else "im2col/eval",
+        )
         # Rows: (N*OH*OW, C*k*k) -> (N*OH*OW*C, k*k), pooling per channel;
         # im2col rows are laid out [c][kh][kw], so a plain reshape splits
         # channels correctly.
@@ -41,7 +49,7 @@ class MaxPool2D(_Pool2D):
     """Max pooling (``MaxPooling`` rows of Table III)."""
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        col, out_h, out_w, shape = self._unfold(x)
+        col, out_h, out_w, shape = self._unfold(x, training)
         n, c, _, _ = shape
         argmax = col.argmax(axis=1)
         out = col[np.arange(col.shape[0]), argmax]
@@ -63,12 +71,15 @@ class MaxPool2D(_Pool2D):
         cache = self._cache
         n, c, _, _ = cache["input_shape"]
         grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(-1)  # rows*C
-        grad_col = np.zeros(cache["col_shape"], dtype=grad_out.dtype)
+        grad_col = self._workspace.zeros(
+            ("grad_col",), cache["col_shape"], grad_out.dtype
+        )
         grad_col[np.arange(grad_col.shape[0]), cache["argmax"]] = grad_rows
         k = self.window
         grad_col = grad_col.reshape(-1, c * k * k)
         return col2im(
-            grad_col, cache["input_shape"], k, k, self.stride, self.pad
+            grad_col, cache["input_shape"], k, k, self.stride, self.pad,
+            workspace=self._workspace,
         )
 
 
@@ -76,7 +87,7 @@ class AvgPool2D(_Pool2D):
     """Average pooling (``AvgPooling`` rows of Table III)."""
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        col, out_h, out_w, shape = self._unfold(x)
+        col, out_h, out_w, shape = self._unfold(x, training)
         n, c, _, _ = shape
         out = col.mean(axis=1)
         out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
@@ -96,7 +107,8 @@ class AvgPool2D(_Pool2D):
         grad_col = np.repeat(grad_rows[:, None], k * k, axis=1) / (k * k)
         grad_col = grad_col.reshape(-1, c * k * k)
         return col2im(
-            grad_col, cache["input_shape"], k, k, self.stride, self.pad
+            grad_col, cache["input_shape"], k, k, self.stride, self.pad,
+            workspace=self._workspace,
         )
 
 

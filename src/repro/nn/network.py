@@ -38,6 +38,7 @@ class Network:
         self._parameters: List[Parameter] = []
         self._grad_refs: List[np.ndarray] = []
         self._weight_regularizers: Dict[str, Regularizer] = {}
+        self._dtype: Optional[np.dtype] = None
         self._rebuild_parameters()
 
     # ------------------------------------------------------------------
@@ -83,6 +84,37 @@ class Network:
         return dict(self._weight_regularizers)
 
     # ------------------------------------------------------------------
+    # Compute dtype (the float32 fast path)
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> Optional[np.dtype]:
+        """Compute dtype set by :meth:`to_dtype` (``None`` = float64)."""
+        return self._dtype
+
+    def to_dtype(self, dtype) -> "Network":
+        """Cast every layer's parameters and state to ``dtype`` in place.
+
+        The float32 fast path: layers initialize in float64 (identical
+        starting values across precisions), then the assembled network
+        is converted once.  Inputs are cast on entry to :meth:`forward`,
+        so the whole forward/backward pipeline — im2col patch matrices,
+        BLAS matmuls, activation caches — runs at the reduced precision
+        and halved memory traffic.  Call *before*
+        :meth:`attach_regularizers` / trainer construction so
+        regularizers and optimizer state bind the cast arrays.
+
+        Returns ``self`` for chaining.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise ValueError(f"dtype must be floating, got {dtype}")
+        self._dtype = None if dtype == np.dtype(np.float64) else dtype
+        for layer in self.layers:
+            layer.cast_params(dtype)
+        self._rebuild_parameters()
+        return self
+
+    # ------------------------------------------------------------------
     # TrainableModel interface
     # ------------------------------------------------------------------
     def parameters(self) -> List[Parameter]:
@@ -106,7 +138,7 @@ class Network:
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        out = x
+        out = x if self._dtype is None else np.asarray(x, dtype=self._dtype)
         for layer in self.layers:
             out = layer.forward(out, training)
         return out

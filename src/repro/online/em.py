@@ -42,6 +42,7 @@ from ..core.em import (
     merge_plan,
     mixing_from_stats,
     precisions_from_stats,
+    suffstats_from_responsibilities,
 )
 from ..core.gaussian_mixture import GaussianMixture
 from ..core.gm_regularizer import GMRegularizer
@@ -85,6 +86,7 @@ def online_em_step(
     prune: bool = True,
     merge: bool = True,
     merge_rel_tol: float = 0.02,
+    responsibilities: Optional[np.ndarray] = None,
 ) -> OnlineEMState:
     """One online E+M step on the GM parameters for the current ``w``.
 
@@ -95,14 +97,28 @@ def online_em_step(
     merged components (via :func:`~repro.core.em.merge_plan`) *sum*
     their statistics, so the summary stays aligned with the mixture as
     K collapses.
+
+    ``responsibilities`` lets the fused hot path hand over the
+    Equation (9) matrix already computed for this exact ``(mixture,
+    w)`` pair, skipping the E-step's second density evaluation; with
+    float64 responsibilities the result is bit-identical to computing
+    them here.
     """
     if not 0.0 < rho < 1.0:
         raise ValueError(f"rho must be in (0, 1), got {rho}")
     w = np.asarray(w, dtype=np.float64).reshape(-1)
     mixture = state.mixture
-    resp = mixture.responsibilities(w)
-    s0 = resp.sum(axis=0)
-    s1 = resp.T @ (w * w)
+    resp = (
+        responsibilities
+        if responsibilities is not None
+        else mixture.responsibilities(w)
+    )
+    if resp.shape != (w.size, mixture.n_components):
+        raise ValueError(
+            f"responsibilities have shape {resp.shape}, expected "
+            f"({w.size}, {mixture.n_components})"
+        )
+    s0, s1 = suffstats_from_responsibilities(resp, w)
     resp_sum = _blend(state.resp_sum, s0, rho)
     weighted_sq = _blend(state.weighted_sq, s1, rho)
 
@@ -193,6 +209,8 @@ class DecayedGMRegularizer(GMRegularizer):
         merge_components: bool = True,
         rho: float = 0.95,
         warmup_steps: int = 0,
+        fused: bool = True,
+        kernel: str = "exact",
     ) -> None:
         super().__init__(
             n_dimensions,
@@ -202,6 +220,8 @@ class DecayedGMRegularizer(GMRegularizer):
             schedule=schedule,
             prune_components=prune_components,
             merge_components=merge_components,
+            fused=fused,
+            kernel=kernel,
         )
         if not 0.0 < rho < 1.0:
             raise ValueError(f"rho must be in (0, 1), got {rho}")
@@ -246,9 +266,24 @@ class DecayedGMRegularizer(GMRegularizer):
     # The decayed M-step
     # ------------------------------------------------------------------
     def upt_gm_param(self, w: np.ndarray) -> None:
-        """``uptGMParam()`` on the decayed summary instead of raw sums."""
+        """``uptGMParam()`` on the decayed summary instead of raw sums.
+
+        Fresh fused responsibilities staged by ``update()`` (same
+        mixture, same ``w``, same iteration) feed the decayed statistics
+        directly — the same single-density-evaluation fusion as the
+        batch regularizer, extended to the online path.
+        """
         flat = np.asarray(w, dtype=np.float64).reshape(-1)
         alpha = self._alpha[: self.mixture.n_components]
+        resp = self._take_pending_responsibilities()
+        if resp is not None and resp.shape[1] != self.mixture.n_components:
+            resp = None
+        if resp is not None and resp.dtype != np.float64:
+            # The decayed recursion is float64 end-to-end; promote
+            # float32 fast-kernel responsibilities before blending.
+            resp = resp.astype(np.float64)
+        if resp is None:
+            self._n_density_evals += 1
         state = online_em_step(
             OnlineEMState(
                 mixture=self.mixture,
@@ -263,6 +298,7 @@ class DecayedGMRegularizer(GMRegularizer):
             rho=self.rho,
             prune=self.prune_components,
             merge=self.merge_components,
+            responsibilities=resp,
         )
         self.mixture = state.mixture
         self._resp_sum = state.resp_sum

@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tupl
 import numpy as np
 
 from ..core.em import RegularizerEMState
+from ..core.fusion import Workspace, stacked_prepare
 from ..core.regularizers import Regularizer
 from ..rng import default_generator
 from ..telemetry.events import (
@@ -250,6 +251,12 @@ class Trainer:
         phase timers and counters.  A fresh registry (sharing ``clock``)
         is created when omitted.  The registry is reset at the start of
         every :meth:`fit`.
+    stacked_em:
+        When True (default) the per-parameter E-step loop is routed
+        through :func:`repro.core.fusion.stacked_prepare`, which batches
+        every due fused GM regularizer into one stacked kernel
+        invocation per iteration (bit-identical under the default exact
+        kernel).  ``False`` keeps the plain per-parameter loop.
     """
 
     def __init__(
@@ -263,6 +270,7 @@ class Trainer:
         patience: int = 3,
         clock: Callable[[], float] = time.perf_counter,
         metrics: Optional[MetricsRegistry] = None,
+        stacked_em: bool = True,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -277,6 +285,8 @@ class Trainer:
         self.patience = int(patience)
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry(clock=clock)
+        self.stacked_em = bool(stacked_em)
+        self._em_workspace = Workspace()
         self._iteration = 0
         self._reg_scale = 1.0
 
@@ -475,7 +485,7 @@ class Trainer:
         measured per-phase savings against the schedule's expected
         refresh fraction.
         """
-        esteps = msteps = 0
+        esteps = msteps = densities = 0
         seen = False
         for param in params:
             reg = param.regularizer
@@ -488,9 +498,11 @@ class Trainer:
             seen = True
             esteps += int(e or 0)
             msteps += int(m or 0)
+            densities += int(getattr(reg, "density_evals", None) or 0)
         if seen:
             self.metrics.gauge("em/estep_refreshes").set(esteps)
             self.metrics.gauge("em/mstep_refreshes").set(msteps)
+            self.metrics.gauge("em/density_evals").set(densities)
 
     # ------------------------------------------------------------------
     def _train_step(
@@ -516,11 +528,16 @@ class Trainer:
                 else (0, 0)
                 for p in params
             ]
-        # E-step (lines 4-7): refresh cached g_reg where due.
+        # E-step (lines 4-7): refresh cached g_reg where due.  The
+        # stacked pass fuses all due per-layer GMs into one kernel call;
+        # non-fusable regularizers fall back to their own prepare().
         with timers["estep"]:
-            for param in params:
-                if param.regularizer is not None:
-                    param.regularizer.prepare(param.value, it)
+            if self.stacked_em:
+                stacked_prepare(params, it, workspace=self._em_workspace)
+            else:
+                for param in params:
+                    if param.regularizer is not None:
+                        param.regularizer.prepare(param.value, it)
         # Data-misfit gradient g_ll plus regularizer gradient (Eq. (10)).
         with timers["grad"]:
             loss, grads = self.model.loss_and_gradients(xb, yb)

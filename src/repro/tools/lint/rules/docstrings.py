@@ -1,10 +1,12 @@
-"""DOCSTRING-PUBLIC: public serve/telemetry API carries docstrings.
+"""DOCSTRING-PUBLIC: public core/serve/telemetry API carries docstrings.
 
 The serving and telemetry subsystems are the repo's operator-facing
 surface — the runbook (``docs/RUNBOOK.md``) and architecture notes
 lean on their docstrings, and ``help()`` at a debugging prompt is the
-operator's first tool.  This rule keeps that surface documented for
-the ``repro.serve`` and ``repro.telemetry`` packages:
+operator's first tool.  ``repro.core`` is the paper's algorithmic
+surface (mixtures, regularizers, the fused E-step kernels) and is held
+to the same bar.  This rule keeps that surface documented for the
+``repro.core``, ``repro.serve`` and ``repro.telemetry`` packages:
 
 - every public module-level **class** and **function** needs a
   docstring;
@@ -27,7 +29,7 @@ from ..engine import Finding, LintContext, Rule
 
 __all__ = ["DocstringPublicRule"]
 
-_SCOPED_PACKAGES = ("repro.serve", "repro.telemetry")
+_SCOPED_PACKAGES = ("repro.core", "repro.serve", "repro.telemetry")
 
 _DefNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
@@ -70,8 +72,8 @@ def _public_defs(
 class DocstringPublicRule(Rule):
     name = "DOCSTRING-PUBLIC"
     description = (
-        "public classes/functions/methods in repro.serve and "
-        "repro.telemetry must carry docstrings"
+        "public classes/functions/methods in repro.core, repro.serve "
+        "and repro.telemetry must carry docstrings"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:

@@ -1,0 +1,292 @@
+"""Unit tests for the fused E-step/gradient hot path (repro.core.fusion).
+
+Covers the tentpole invariants of the speed pass:
+
+- the exact kernel (the default) is bit-identical to the unfused
+  reference arithmetic, standalone and through a full mutating
+  regularizer trajectory, single-layer and stacked;
+- the fast kernel agrees with the reference at documented tolerances
+  (float64: few-ulp; float32: single-precision scale), for
+  responsibilities, gradient and M-step sufficient statistics;
+- the density-evaluation counter halves under fusion while
+  ``estep_count`` semantics are unchanged, and the trainer publishes
+  it as a gauge;
+- the workspace buffer cache and the stacked trainer driver behave.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EStepResult,
+    GMRegularizer,
+    LazyUpdateSchedule,
+    Workspace,
+    fused_estep,
+    stacked_estep,
+    stacked_prepare,
+    suffstats_from_responsibilities,
+)
+from repro.core.gaussian_mixture import GaussianMixture
+from repro.optim import Parameter
+
+
+def make_mixture(k, scale, seed):
+    r = np.random.default_rng(seed)
+    pi = r.random(k)
+    pi /= pi.sum()
+    lam = np.sort(r.random(k) * 100.0 / scale)
+    return GaussianMixture(pi=pi, lam=lam)
+
+
+@pytest.fixture
+def layers(rng):
+    """Three (mixture, weights) pairs with mixed component counts."""
+    mixtures = [make_mixture(4, 1, 1), make_mixture(3, 2, 2), make_mixture(4, 5, 3)]
+    ws = [rng.normal(0, 0.1, size=n) for n in (500, 1200, 800)]
+    return mixtures, ws
+
+
+def reference(mixture, w):
+    resp = mixture.responsibilities(w)
+    return resp, (resp @ mixture.lam) * w
+
+
+# ----------------------------------------------------------------------
+# Exact kernel: bit identity
+# ----------------------------------------------------------------------
+def test_exact_kernel_bit_identical_single(layers):
+    mixtures, ws = layers
+    for m, w in zip(mixtures, ws):
+        ref_resp, ref_grad = reference(m, w)
+        result = fused_estep(m, w, kernel="exact")
+        assert np.array_equal(result.responsibilities, ref_resp)
+        assert np.array_equal(result.gradient, ref_grad)
+
+
+def test_exact_kernel_bit_identical_stacked_mixed_k(layers):
+    mixtures, ws = layers
+    results = stacked_estep(mixtures, ws, kernel="exact")
+    for result, m, w in zip(results, mixtures, ws):
+        ref_resp, ref_grad = reference(m, w)
+        assert np.array_equal(result.responsibilities, ref_resp)
+        assert np.array_equal(result.gradient, ref_grad)
+
+
+def test_fused_regularizer_trajectory_bit_identical(rng):
+    """Whole E/M trajectory: fused default vs legacy, same bits."""
+    w_fused = rng.normal(0, 0.1, 400)
+    w_legacy = w_fused.copy()
+    fused = GMRegularizer(n_dimensions=400, weight_init_std=0.1)
+    legacy = GMRegularizer(n_dimensions=400, weight_init_std=0.1, fused=False)
+    assert fused.fused and fused.kernel == "exact"
+    for it in range(10):
+        fused.prepare(w_fused, it)
+        legacy.prepare(w_legacy, it)
+        gf, gl = fused.gradient(w_fused), legacy.gradient(w_legacy)
+        assert np.array_equal(gf, gl)
+        fused.update(w_fused, it)
+        legacy.update(w_legacy, it)
+        assert np.array_equal(fused.pi, legacy.pi)
+        assert np.array_equal(fused.lam, legacy.lam)
+        # simulate the SGD step so each E-step sees fresh parameters
+        w_fused -= 0.05 * gf
+        w_legacy -= 0.05 * gl
+
+
+# ----------------------------------------------------------------------
+# Fast kernel: documented tolerances
+# ----------------------------------------------------------------------
+def test_fast_kernel_float64_agreement(layers):
+    mixtures, ws = layers
+    results = stacked_estep(mixtures, ws, kernel="fast")
+    for result, m, w in zip(results, mixtures, ws):
+        ref_resp, ref_grad = reference(m, w)
+        np.testing.assert_allclose(
+            result.responsibilities, ref_resp, rtol=0, atol=1e-13
+        )
+        np.testing.assert_allclose(result.gradient, ref_grad, rtol=1e-12)
+
+
+def test_fast_kernel_float32_agreement(layers):
+    mixtures, ws = layers
+    results = stacked_estep(
+        mixtures, ws, kernel="fast", compute_dtype=np.float32
+    )
+    for result, m, w in zip(results, mixtures, ws):
+        ref_resp, ref_grad = reference(m, w)
+        assert result.responsibilities.dtype == np.float32
+        assert result.gradient.dtype == np.float64
+        np.testing.assert_allclose(
+            result.responsibilities.astype(np.float64), ref_resp,
+            rtol=0, atol=1e-5,
+        )
+        np.testing.assert_allclose(result.gradient, ref_grad, rtol=1e-4)
+
+
+def test_float32_mstep_stats_agree_with_float64(layers):
+    """Eq. 13/17 sufficient statistics from float32 responsibilities
+    (accumulated in float64) track the float64 path."""
+    mixtures, ws = layers
+    r64 = stacked_estep(mixtures, ws, kernel="fast")
+    r32 = stacked_estep(mixtures, ws, kernel="fast", compute_dtype=np.float32)
+    for a, b, w in zip(r64, r32, ws):
+        s0_64, s1_64 = suffstats_from_responsibilities(a.responsibilities, w)
+        s0_32, s1_32 = suffstats_from_responsibilities(b.responsibilities, w)
+        assert s0_32.dtype == np.float64 and s1_32.dtype == np.float64
+        np.testing.assert_allclose(s0_32, s0_64, rtol=1e-4)
+        np.testing.assert_allclose(s1_32, s1_64, rtol=1e-3)
+
+
+def test_exact_kernel_rejects_float32():
+    m = make_mixture(4, 1, 1)
+    with pytest.raises(ValueError, match="float64-only"):
+        fused_estep(m, np.zeros(8), kernel="exact", compute_dtype=np.float32)
+
+
+def test_unknown_kernel_rejected():
+    m = make_mixture(4, 1, 1)
+    with pytest.raises(ValueError, match="kernel"):
+        fused_estep(m, np.zeros(8), kernel="fused")
+
+
+# ----------------------------------------------------------------------
+# Counter semantics: fused iterations evaluate densities once
+# ----------------------------------------------------------------------
+def run_eager(reg, w, iterations=10, lr=0.05):
+    w = w.copy()
+    for it in range(iterations):
+        reg.prepare(w, it)
+        g = reg.gradient(w)
+        reg.update(w, it)
+        w -= lr * g
+
+
+def test_density_evals_half_of_legacy(rng):
+    w = rng.normal(0, 0.1, 300)
+    fused = GMRegularizer(n_dimensions=300, weight_init_std=0.1)
+    legacy = GMRegularizer(n_dimensions=300, weight_init_std=0.1, fused=False)
+    run_eager(fused, w)
+    run_eager(legacy, w)
+    # estep_count semantics unchanged: one refresh per eager iteration.
+    assert fused.estep_count == legacy.estep_count == 10
+    assert fused.mstep_count == legacy.mstep_count == 10
+    # The fusion is visible in the density-evaluation count alone.
+    assert fused.density_evals == 10
+    assert legacy.density_evals == 20
+
+
+def test_density_evals_with_desynchronized_schedule(rng):
+    """With Ig != Im the M-step cannot reuse the stale E-step matrix and
+    must pay its own density evaluation."""
+    w = rng.normal(0, 0.1, 300)
+    schedule = LazyUpdateSchedule(
+        model_interval=2, gm_interval=4, eager_epochs=0
+    )
+    reg = GMRegularizer(
+        n_dimensions=300, weight_init_std=0.1, schedule=schedule
+    )
+    evals_when_reused = reg.density_evals
+    for it in range(8):
+        reg.prepare(w, it)
+        reg.update(w, it)
+    # E-steps at iterations where gm_interval divides; M-steps more
+    # often -- those fall back to a fresh em_step evaluation.
+    assert reg.estep_count + reg.mstep_count >= reg.density_evals
+    assert reg.density_evals > evals_when_reused
+
+
+def test_trainer_publishes_density_evals_gauge(rng):
+    from repro.linear import LogisticRegression
+    from repro.optim import Trainer
+
+    x = rng.normal(size=(80, 10))
+    y = (x[:, 0] > 0).astype(np.int64)
+    reg = GMRegularizer(n_dimensions=10)
+    model = LogisticRegression(10, regularizer=reg, rng=rng)
+    trainer = Trainer(model, lr=0.3, batch_size=16)
+    trainer.fit(x, y, epochs=3, rng=rng)
+    gauges = trainer.metrics.snapshot()["gauges"]
+    assert gauges["em/density_evals"] == reg.density_evals
+    # Fused default: one evaluation per E-step refresh.
+    assert reg.density_evals == reg.estep_count
+
+
+# ----------------------------------------------------------------------
+# Stacked trainer driver
+# ----------------------------------------------------------------------
+def test_stacked_prepare_serves_fusable_group(rng):
+    regs = [
+        GMRegularizer(n_dimensions=n, weight_init_std=0.1)
+        for n in (200, 300)
+    ]
+    legacy = GMRegularizer(n_dimensions=100, weight_init_std=0.1, fused=False)
+    params = [
+        Parameter("a", rng.normal(0, 0.1, 200), regs[0]),
+        Parameter("b", rng.normal(0, 0.1, 300), regs[1]),
+        Parameter("c", rng.normal(0, 0.1, 100), legacy),
+        Parameter("plain", rng.normal(0, 0.1, 50), None),
+    ]
+    served = stacked_prepare(params, iteration=0)
+    assert served == 2
+    for reg, param in zip(regs + [legacy], params):
+        assert reg.estep_count == 1
+        assert np.array_equal(
+            reg.gradient(param.value), reg._cached_reg_grad
+        )
+
+
+def test_stacked_prepare_matches_per_layer_prepare(rng):
+    values = [rng.normal(0, 0.1, n) for n in (200, 300)]
+    stacked_regs = [
+        GMRegularizer(n_dimensions=v.size, weight_init_std=0.1)
+        for v in values
+    ]
+    solo_regs = [
+        GMRegularizer(n_dimensions=v.size, weight_init_std=0.1)
+        for v in values
+    ]
+    params = [
+        Parameter(str(i), v, r)
+        for i, (v, r) in enumerate(zip(values, stacked_regs))
+    ]
+    stacked_prepare(params, iteration=0)
+    for solo, stacked, v in zip(solo_regs, stacked_regs, values):
+        solo.prepare(v, 0)
+        assert np.array_equal(solo.gradient(v), stacked.gradient(v))
+        solo.update(v, 0)
+        stacked.update(v, 0)
+        assert np.array_equal(solo.pi, stacked.pi)
+        assert np.array_equal(solo.lam, stacked.lam)
+
+
+# ----------------------------------------------------------------------
+# Workspace
+# ----------------------------------------------------------------------
+def test_workspace_reuses_and_reallocates():
+    ws = Workspace()
+    a = ws.get("k", (4, 5), np.dtype(np.float64))
+    assert ws.get("k", (4, 5), np.dtype(np.float64)) is a
+    b = ws.get("k", (4, 6), np.dtype(np.float64))
+    assert b is not a and b.shape == (4, 6)
+    c = ws.get("k", (4, 6), np.dtype(np.float32))
+    assert c is not b and c.dtype == np.float32
+    assert ws.nbytes() > 0
+    ws.clear()
+    assert ws.nbytes() == 0
+
+
+def test_workspace_zeros_clears_contents():
+    ws = Workspace()
+    buf = ws.zeros("z", (3,), np.dtype(np.float64))
+    buf[:] = 7.0
+    assert np.array_equal(ws.zeros("z", (3,), np.dtype(np.float64)),
+                          np.zeros(3))
+
+
+def test_estep_result_exposes_fields(layers):
+    mixtures, ws = layers
+    result = fused_estep(mixtures[0], ws[0], kernel="fast")
+    assert isinstance(result, EStepResult)
+    assert result.responsibilities.shape == (500, 4)
+    assert result.gradient.shape == (500,)
